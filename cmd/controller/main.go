@@ -1,0 +1,117 @@
+// Command controller runs the operations center as a long-lived daemon:
+// it solves the NIDS placement for a topology, serves sampling manifests
+// to node agents over TCP, and re-optimizes on a fixed cadence with fresh
+// traffic reports — the deployment loop the paper describes ("a
+// centralized operations center periodically configures the NIDS
+// responsibilities of the different nodes ... we envision needing to
+// reconfigure NIDS with roughly the same frequency" as NetFlow reports).
+//
+//	controller -listen 127.0.0.1:7117 [-topology internet2] [-sessions 20000]
+//	           [-interval 5m] [-hashkey 1234] [-once]
+//
+// Agents (internal/control.Agent) poll the epoch and refetch manifests
+// when it changes. With -once the daemon solves a single plan and serves
+// it until killed.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nwdeploy/internal/bro"
+	"nwdeploy/internal/control"
+	"nwdeploy/internal/core"
+	"nwdeploy/internal/topology"
+	"nwdeploy/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("controller: ")
+	listen := flag.String("listen", "127.0.0.1:7117", "address to serve manifests on")
+	topoName := flag.String("topology", "internet2", "internet2 | geant | as1221 | as1239 | as3257 | isp50")
+	sessions := flag.Int("sessions", 20000, "sessions per traffic report")
+	interval := flag.Duration("interval", 5*time.Minute, "re-optimization cadence")
+	hashKey := flag.Uint("hashkey", 0x5eed, "private sampling hash key")
+	once := flag.Bool("once", false, "solve once and serve; no re-optimization loop")
+	cpuCap := flag.Float64("cpucap", 1e7, "per-node CPU capacity")
+	memCap := flag.Float64("memcap", 1e9, "per-node memory capacity")
+	flag.Parse()
+
+	var topo *topology.Topology
+	switch *topoName {
+	case "internet2":
+		topo = topology.Internet2()
+	case "geant":
+		topo = topology.Geant()
+	case "as1221":
+		topo = topology.RocketfuelLike(topology.AS1221)
+	case "as1239":
+		topo = topology.RocketfuelLike(topology.AS1239)
+	case "as3257":
+		topo = topology.RocketfuelLike(topology.AS3257)
+	case "isp50":
+		topo = topology.FiftyNode()
+	default:
+		log.Fatalf("unknown topology %q", *topoName)
+	}
+	classes := bro.Classes(bro.StandardModules()[1:])
+	caps := core.UniformCaps(topo.N(), *cpuCap, *memCap)
+	tm := traffic.Gravity(topo)
+
+	solve := func(seed int64) (*core.Plan, error) {
+		// Each cycle consumes a fresh traffic report; the seed stands in
+		// for the NetFlow feed's sampling noise.
+		report := traffic.Generate(topo, tm, traffic.GenConfig{Sessions: *sessions, Seed: seed})
+		inst, err := core.BuildInstance(topo, classes, report, caps)
+		if err != nil {
+			return nil, err
+		}
+		return core.Solve(inst, 1)
+	}
+
+	ctrl, err := control.NewController(*listen, uint32(*hashKey))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	start := time.Now()
+	plan, err := solve(start.UnixNano())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl.UpdatePlan(plan)
+	log.Printf("serving %s manifests on %s (epoch %d, objective %.4f, solved in %s)",
+		topo.Name, ctrl.Addr(), ctrl.Epoch(), plan.Objective, time.Since(start).Round(time.Millisecond))
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	if *once {
+		<-sigs
+		log.Print("shutting down")
+		return
+	}
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sigs:
+			log.Print("shutting down")
+			return
+		case now := <-ticker.C:
+			plan, err := solve(now.UnixNano())
+			if err != nil {
+				log.Printf("re-optimization failed (serving previous plan): %v", err)
+				continue
+			}
+			ctrl.UpdatePlan(plan)
+			log.Printf("re-optimized: epoch %d, objective %.4f", ctrl.Epoch(), plan.Objective)
+		}
+	}
+}

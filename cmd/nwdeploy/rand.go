@@ -1,0 +1,7 @@
+package main
+
+import "math/rand"
+
+// newRand isolates the one math/rand dependency so planning runs stay
+// reproducible for a given spec seed.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,93 @@
+package nwdeploy_test
+
+import (
+	"fmt"
+
+	"nwdeploy"
+)
+
+// ExamplePlanNIDS plans a coordinated NIDS deployment on the Internet2
+// backbone and shows the exactly-once coverage the manifests deliver.
+func ExamplePlanNIDS() {
+	topo := nwdeploy.Internet2()
+	tm := nwdeploy.GravityMatrix(topo)
+	sessions := nwdeploy.GenerateSessions(topo, tm, 2000, 7)
+
+	classes := []nwdeploy.Class{
+		{Name: "signature", CPUPerPkt: 1, MemPerItem: 400},
+		{Name: "scan", Scope: nwdeploy.PerIngress, Agg: nwdeploy.BySource, CPUPerPkt: 0.3, MemPerItem: 120},
+	}
+	inst, err := nwdeploy.BuildNIDSInstance(topo, classes, sessions,
+		nwdeploy.UniformCaps(topo.N(), 1e7, 1e9))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	plan, err := nwdeploy.PlanNIDS(inst, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	// Every session is analyzed by exactly one node per class.
+	h := nwdeploy.Hasher{Key: 1}
+	analysts := 0
+	for _, s := range sessions[:500] {
+		for node := 0; node < topo.N(); node++ {
+			if plan.ShouldAnalyze(node, 0, s, h) {
+				analysts++
+			}
+		}
+	}
+	fmt.Printf("signature analyses for 500 sessions: %d\n", analysts)
+	fmt.Printf("coverage complete: %v\n", analysts == 500)
+	// Output:
+	// signature analyses for 500 sessions: 500
+	// coverage complete: true
+}
+
+// ExamplePlanNIPS places filtering rules under TCAM budgets and reports
+// how close the approximation lands to the LP upper bound.
+func ExamplePlanNIPS() {
+	inst := nwdeploy.BuildNIPSInstance(nwdeploy.Internet2(), nwdeploy.UnitRules(10),
+		nwdeploy.NIPSConfig{
+			MaxPaths:             10,
+			RuleCapacityFraction: 0.2,
+			MatchSeed:            5,
+		})
+	dep, optLP, err := nwdeploy.PlanNIPS(inst, nwdeploy.NIPSRoundingGreedyLP, 5, 3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("deployment feasible: %v\n", dep.Verify(inst) == nil)
+	fmt.Printf("within 80%% of the LP bound: %v\n", dep.Objective >= 0.8*optLP)
+	// Output:
+	// deployment feasible: true
+	// within 80% of the LP bound: true
+}
+
+// ExampleWhatIfUpgrades asks where one hardware upgrade would reduce the
+// deployment bottleneck.
+func ExampleWhatIfUpgrades() {
+	topo := nwdeploy.Internet2()
+	tm := nwdeploy.GravityMatrix(topo)
+	sessions := nwdeploy.GenerateSessions(topo, tm, 2000, 9)
+	classes := []nwdeploy.Class{{Name: "signature", CPUPerPkt: 1, MemPerItem: 400}}
+	inst, err := nwdeploy.BuildNIDSInstance(topo, classes, sessions,
+		nwdeploy.UniformCaps(topo.N(), 1e7, 1e9))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ups, err := nwdeploy.WhatIfUpgrades(inst, 1, 2.0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("options evaluated: %d\n", len(ups))
+	fmt.Printf("sorted by gain: %v\n", ups[0].Gain >= ups[len(ups)-1].Gain)
+	// Output:
+	// options evaluated: 22
+	// sorted by gain: true
+}

@@ -1,0 +1,62 @@
+// Internet2: the paper's headline network-wide NIDS evaluation in
+// miniature (Figures 6-8). A 21-module Bro-like deployment is emulated on
+// the 11-node Internet2 backbone twice — once edge-only, once coordinated —
+// and the per-node footprints are compared.
+//
+//	go run ./examples/internet2 [-sessions 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"nwdeploy/internal/bro"
+	"nwdeploy/internal/core"
+	"nwdeploy/internal/topology"
+	"nwdeploy/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	sessions := flag.Int("sessions", 20000, "total traffic volume in sessions")
+	flag.Parse()
+
+	topo := topology.Internet2()
+	tm := traffic.Gravity(topo)
+	// A small host pool per node makes per-source behaviour (scan
+	// detection) visible at this trace size.
+	trace := traffic.Generate(topo, tm, traffic.GenConfig{Sessions: *sessions, Seed: 2010, HostsPerNode: 12})
+
+	// 21 deployable modules: the standard Figure 5 set plus duplicated
+	// HTTP/IRC/Login/TFTP instances, exactly as the paper grows the
+	// deployment (the baseline pseudo-module is connection processing,
+	// which the engine performs inherently).
+	mods := bro.ModuleSubset(22)[1:]
+
+	em, err := bro.NewEmulation(topo, mods, trace, core.UniformCaps(topo.N(), 1e9, 1e12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("emulating %d modules x %d sessions on %s (%d nodes)\n",
+		len(mods), *sessions, topo.Name, topo.N())
+	fmt.Printf("placement LP objective = %.4f (%d simplex iterations)\n\n",
+		em.Plan.Objective, em.Plan.SolverIters)
+
+	edge := em.Run(bro.DeployEdge)
+	coord := em.Run(bro.DeployCoordinated)
+
+	fmt.Println("node  city            edge_cpu      coord_cpu     edge_mem      coord_mem")
+	for j := 0; j < topo.N(); j++ {
+		e, c := edge.Reports[j], coord.Reports[j]
+		fmt.Printf("%-5d %-15s %-13.4g %-13.4g %-13.4g %-13.4g\n",
+			j, topo.Nodes[j].City, e.CPUUnits, c.CPUUnits, e.MemBytes, c.MemBytes)
+	}
+
+	fmt.Printf("\nmax per-node CPU:    edge %.4g  coordinated %.4g  (%.0f%% reduction)\n",
+		edge.MaxCPU(), coord.MaxCPU(), 100*(1-coord.MaxCPU()/edge.MaxCPU()))
+	fmt.Printf("max per-node memory: edge %.4g  coordinated %.4g  (%.0f%% reduction)\n",
+		edge.MaxMem(), coord.MaxMem(), 100*(1-coord.MaxMem()/edge.MaxMem()))
+	fmt.Printf("aggregate alerts:    edge %d  coordinated %d (detection coverage preserved)\n",
+		edge.TotalAlerts(), coord.TotalAlerts())
+}

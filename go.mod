@@ -1,0 +1,3 @@
+module nwdeploy
+
+go 1.22

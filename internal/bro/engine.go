@@ -1,0 +1,365 @@
+package bro
+
+import (
+	"fmt"
+
+	"nwdeploy/internal/core"
+	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/traffic"
+)
+
+// Cost-model constants, in abstract CPU units and bytes. They are
+// calibrated so that the standalone microbenchmarks reproduce the relative
+// overheads of the paper's Figure 5 (see DESIGN.md): per-packet event
+// engine work dominates; the policy interpreter costs an order of magnitude
+// more per operation; computing and storing the connection-record hashes
+// adds a small per-connection cost and ~6% memory.
+const (
+	// pktCaptureCost is libpcap capture plus event dispatch per packet;
+	// paid for every packet a node observes, analyzed or not.
+	pktCaptureCost = 10
+	// connPktCost is per-packet connection processing (reassembly, state
+	// updates) once a connection record exists.
+	connPktCost = 20
+	// connSetupCost is connection-record creation.
+	connSetupCost = 100
+	// hashPerConnCost is computing the hash combinations (session, flow,
+	// source, destination) once per connection and storing them in the
+	// record — the prototype's extension to the connection record.
+	hashPerConnCost = 18
+	// eventCheckCost is one compiled in-event-engine manifest range check.
+	eventCheckCost = 2
+	// policyOpCost is one interpreted policy-script operation.
+	policyOpCost = 10
+	// connRecordBytes is the baseline connection-record size.
+	connRecordBytes = 400
+	// hashFieldBytes is the record growth from carrying the hash fields.
+	hashFieldBytes = 24
+	// tableEntryBytes is one policy-table entry (set member or counter).
+	tableEntryBytes = 40
+)
+
+// Mode selects the engine variant being benchmarked.
+type Mode int
+
+const (
+	// ModePlain is unmodified Bro: no coordination machinery at all.
+	ModePlain Mode = iota
+	// ModeCoordPolicy is the prototype with every coordination check
+	// delayed to the policy engine (the paper's implementation
+	// alternative 1).
+	ModeCoordPolicy
+	// ModeCoordEvent is the prototype with checks placed as early as each
+	// module permits (alternative 2, the configuration the paper adopts).
+	ModeCoordEvent
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModePlain:
+		return "plain"
+	case ModeCoordPolicy:
+		return "coord-policy"
+	case ModeCoordEvent:
+		return "coord-event"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config configures one engine instance (one Bro process on one node).
+type Config struct {
+	Mode    Mode
+	Modules []ModuleSpec
+	// Plan and Node bind the instance to a network-wide deployment; a nil
+	// Plan means a standalone instance whose manifest covers all traffic
+	// (the Figure 5 microbenchmark setup: "the sampling manifests ... are
+	// configured to specify that this standalone node needs to process all
+	// the traffic").
+	Plan *core.Plan
+	Node int
+	// Hasher supplies the (optionally keyed) packet-selection hash.
+	Hasher hashing.Hasher
+	// FineGrained enables the Section 2.5 extension: modules marked
+	// FirstPacketOnly subscribe to a first-packet event instead of full
+	// connection records, so a node whose manifests select only such
+	// modules for a session skips connection tracking for it entirely —
+	// removing the duplicated baseline processing the paper identifies as
+	// the remaining overhead of the coordinated deployment.
+	FineGrained bool
+}
+
+// Report is the resource accounting of one engine run: the analogue of the
+// paper's atop-derived CPU (utilization x time) and maximum-resident-memory
+// measurements, in deterministic cost units.
+type Report struct {
+	Node         int
+	CPUUnits     float64
+	MemBytes     float64
+	Conns        int // connections with created state
+	Observed     int // sessions seen on the wire
+	Alerts       int
+	PerModuleCPU map[string]float64
+}
+
+// engine is the mutable state of one run.
+type engine struct {
+	cfg       Config
+	rep       Report
+	vm        vm
+	tables    []*moduleTables
+	classes   []core.Class
+	onAnalyze func(mi int, s traffic.Session)
+}
+
+// Run processes the session trace through one engine instance and returns
+// its resource report. Sessions are processed in pseudo-realtime order as
+// in the paper's emulation; the cost model is deterministic so repeated
+// runs agree exactly.
+func Run(cfg Config, sessions []traffic.Session) Report {
+	return runInternal(cfg, sessions, nil)
+}
+
+// runInternal is Run with an optional callback invoked for every (module,
+// session) analysis performed; RunWithLog uses it to build conn logs.
+func runInternal(cfg Config, sessions []traffic.Session, onAnalyze func(int, traffic.Session)) Report {
+	e := &engine{cfg: cfg, onAnalyze: onAnalyze}
+	e.rep.Node = cfg.Node
+	e.rep.PerModuleCPU = make(map[string]float64, len(cfg.Modules))
+	e.vm.cost = &e.rep.CPUUnits
+	e.vm.alerts = &e.rep.Alerts
+	e.tables = make([]*moduleTables, len(cfg.Modules))
+	for i := range e.tables {
+		e.tables[i] = newModuleTables()
+	}
+	e.classes = Classes(cfg.Modules)
+
+	for _, s := range sessions {
+		e.processSession(s)
+	}
+	for _, t := range e.tables {
+		e.rep.MemBytes += t.memBytes()
+	}
+	return e.rep
+}
+
+// analyzes resolves the Figure 3 manifest decision for one module.
+func (e *engine) analyzes(mi int, s traffic.Session) bool {
+	if e.cfg.Plan == nil {
+		return true // standalone: manifest covers everything
+	}
+	return e.cfg.Plan.ShouldAnalyze(e.cfg.Node, mi, s, e.cfg.Hasher)
+}
+
+// checkStage returns where module mi's coordination check executes under
+// the configured mode.
+func (e *engine) checkStage(mi int) Stage {
+	if e.cfg.Mode == ModeCoordPolicy {
+		return StagePolicy
+	}
+	return e.cfg.Modules[mi].EarliestCheck
+}
+
+func (e *engine) processSession(s traffic.Session) {
+	e.rep.Observed++
+	pkts := float64(s.Packets)
+
+	// Every observed packet pays capture cost regardless of analysis: a
+	// node on the path cannot avoid seeing the traffic (Section 2.5's
+	// duplicated baseline tracking).
+	e.rep.CPUUnits += pkts * pktCaptureCost
+
+	coordinated := e.cfg.Mode != ModePlain
+	if coordinated {
+		// The prototype computes the hash combinations once per connection
+		// and carries them in the connection record.
+		e.rep.CPUUnits += hashPerConnCost
+	}
+
+	// Which modules would analyze this session here (manifest decision)?
+	passes := make([]bool, len(e.cfg.Modules))
+	anyPass := false
+	for mi, m := range e.cfg.Modules {
+		if !m.MatchesSession(s) {
+			continue
+		}
+		if !coordinated || e.analyzes(mi, s) {
+			passes[mi] = true
+			anyPass = true
+		}
+	}
+
+	// The prototype's basic-processing optimization: skip creating session
+	// state for traffic entirely outside this instance's manifests ("we
+	// add a check in the basic connection processing step to avoid
+	// creating session state for traffic that falls outside the sampling
+	// manifest for this Bro instance"). Unmodified Bro has no such check
+	// and always creates connection state.
+	// Unmodified Bro has no such check and always creates connection
+	// state; a standalone coordinated instance's manifest covers all
+	// traffic, so nothing is droppable there either.
+	if coordinated && e.cfg.Plan != nil && !anyPass {
+		return
+	}
+
+	// Fine-grained coordination (Section 2.5): when every module this node
+	// analyzes the session for needs only its first packet, serve them
+	// from a first-packet event and skip connection tracking entirely.
+	if e.cfg.FineGrained && coordinated && e.cfg.Plan != nil && e.fineGrainedOnly(passes) {
+		e.rep.CPUUnits += connPktCost // classify the first packet once
+		for mi, m := range e.cfg.Modules {
+			if !passes[mi] || !m.FirstPacketOnly {
+				continue
+			}
+			if e.onAnalyze != nil {
+				e.onAnalyze(mi, s)
+			}
+			before := e.rep.CPUUnits
+			// The manifest check runs once, on the first-packet event.
+			ctx := e.contextFor(mi, s, true)
+			e.vm.run(checkScript, ctx, e.tables[mi])
+			if len(m.PolicyScript) > 0 {
+				e.vm.run(m.PolicyScript, ctx, e.tables[mi])
+			}
+			e.rep.PerModuleCPU[m.Name] += e.rep.CPUUnits - before
+		}
+		return
+	}
+
+	// Connection-record creation and per-packet connection processing.
+	e.rep.CPUUnits += connSetupCost + pkts*connPktCost
+	e.rep.MemBytes += connRecordBytes
+	if coordinated {
+		e.rep.MemBytes += hashFieldBytes
+	}
+	e.rep.Conns++
+
+	for mi, m := range e.cfg.Modules {
+		if !m.SubscribedTo(s) {
+			continue
+		}
+		before := e.rep.CPUUnits
+
+		analyzed := passes[mi] && m.MatchesSession(s)
+		// A module with no analysis work (the baseline pseudo-module)
+		// has nothing to gate, so it carries no coordination check.
+		hasWork := m.EventOpsPerPkt > 0 || len(m.PolicyScript) > 0
+		if coordinated && hasWork {
+			switch e.checkStage(mi) {
+			case StageEvent:
+				// One compiled check at module initialization.
+				e.rep.CPUUnits += eventCheckCost
+			case StagePolicy:
+				// The interpreted check runs in every policy event handler
+				// invocation the module receives for this connection.
+				ctx := e.contextFor(mi, s, passes[mi])
+				n := m.PolicyEventsPerConn
+				if n < 1 {
+					n = 1
+				}
+				for k := 0.0; k < n; k++ {
+					e.vm.run(checkScript, ctx, e.tables[mi])
+				}
+			}
+		}
+
+		if analyzed {
+			if e.onAnalyze != nil {
+				e.onAnalyze(mi, s)
+			}
+			// Event-engine protocol work per packet.
+			e.rep.CPUUnits += m.EventOpsPerPkt * pkts
+			// Policy handlers.
+			if len(m.PolicyScript) > 0 {
+				ctx := e.contextFor(mi, s, true)
+				for k := 0.0; k < m.PolicyEventsPerConn; k++ {
+					e.vm.run(m.PolicyScript, ctx, e.tables[mi])
+				}
+			}
+			// Per-item analysis state: session/flow-scoped modules allocate
+			// per connection; source/destination-scoped state lives in the
+			// policy tables (accounted via memBytes) plus a fixed record.
+			switch m.Agg {
+			case core.BySource, core.ByDestination:
+				// counted through moduleTables
+			default:
+				e.rep.MemBytes += m.StateBytes
+			}
+		}
+		e.rep.PerModuleCPU[m.Name] += e.rep.CPUUnits - before
+	}
+}
+
+// fineGrainedOnly reports whether every passing module for this session is
+// first-packet-only (given at least one passes).
+func (e *engine) fineGrainedOnly(passes []bool) bool {
+	for mi, ok := range passes {
+		if ok && !e.cfg.Modules[mi].FirstPacketOnly {
+			return false
+		}
+	}
+	return true
+}
+
+// contextFor builds the VM context for one module invocation.
+func (e *engine) contextFor(mi int, s traffic.Session, inRange bool) *vmContext {
+	m := e.cfg.Modules[mi]
+	h := e.cfg.Hasher
+	var hv float64
+	switch m.Agg {
+	case core.ByFlow:
+		hv = h.Flow(s.Tuple)
+	case core.BySource:
+		hv = h.Source(s.Tuple)
+	case core.ByDestination:
+		hv = h.Destination(s.Tuple)
+	default:
+		hv = h.Session(s.Tuple)
+	}
+	return &vmContext{
+		srcKey:  float64(s.Tuple.SrcIP),
+		dstKey:  float64(s.Tuple.DstIP),
+		port:    float64(s.Tuple.DstPort),
+		pkts:    float64(s.Packets),
+		hash:    hv,
+		inRange: inRange,
+	}
+}
+
+// Overhead compares a coordinated run against a plain run on the same
+// trace: the Figure 5 metrics.
+type Overhead struct {
+	Module    string
+	CPUPlain  float64
+	CPUCoord  float64
+	MemPlain  float64
+	MemCoord  float64
+	CPURatio  float64 // (coord - plain) / plain
+	MemRatio  float64
+	CheckMode Mode
+}
+
+// MeasureOverhead runs one module in isolation (plus baseline connection
+// processing) on the trace in plain and coordinated form and reports the
+// overhead ratios — the paper's standalone microbenchmark. The baseline
+// "module" measures pure connection processing.
+func MeasureOverhead(spec ModuleSpec, mode Mode, sessions []traffic.Session) Overhead {
+	mods := []ModuleSpec{spec}
+	plain := Run(Config{Mode: ModePlain, Modules: mods, Hasher: hashing.Hasher{Key: 1}}, sessions)
+	coord := Run(Config{Mode: mode, Modules: mods, Hasher: hashing.Hasher{Key: 1}}, sessions)
+	o := Overhead{
+		Module:    spec.Name,
+		CPUPlain:  plain.CPUUnits,
+		CPUCoord:  coord.CPUUnits,
+		MemPlain:  plain.MemBytes,
+		MemCoord:  coord.MemBytes,
+		CheckMode: mode,
+	}
+	if plain.CPUUnits > 0 {
+		o.CPURatio = (coord.CPUUnits - plain.CPUUnits) / plain.CPUUnits
+	}
+	if plain.MemBytes > 0 {
+		o.MemRatio = (coord.MemBytes - plain.MemBytes) / plain.MemBytes
+	}
+	return o
+}

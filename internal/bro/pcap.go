@@ -1,0 +1,26 @@
+package bro
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nwdeploy/internal/packet"
+)
+
+// RunPcap drives the engine from a libpcap capture instead of a session
+// list: frames are decoded, reassembled into sessions (completed TCP
+// sessions at teardown, the remainder at end of trace), and processed
+// exactly as Run processes generated sessions. This is the ingestion path
+// a deployment outside the simulator would use — the trace can come from
+// tcpdump. idle is the reassembly timeout.
+func RunPcap(cfg Config, r io.Reader, idle time.Duration) (Report, error) {
+	sessions, asm, err := packet.ReadSessions(packet.NewReader(r), idle, cfg.Hasher.Key)
+	if err != nil {
+		return Report{}, fmt.Errorf("bro: reading pcap: %w", err)
+	}
+	if asm.Malformed > 0 {
+		return Report{}, fmt.Errorf("bro: %d malformed frames in trace", asm.Malformed)
+	}
+	return Run(cfg, sessions), nil
+}

@@ -1,0 +1,244 @@
+package control
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"nwdeploy/internal/core"
+	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/topology"
+	"nwdeploy/internal/traffic"
+)
+
+func solvedPlan(t *testing.T, seed int64) (*core.Plan, []traffic.Session) {
+	t.Helper()
+	topo := topology.Internet2()
+	tm := traffic.Gravity(topo)
+	sessions := traffic.Generate(topo, tm, traffic.GenConfig{Sessions: 2500, Seed: seed})
+	classes := []core.Class{
+		{Name: "signature", Scope: core.PerPath, Agg: core.BySession, CPUPerPkt: 1, MemPerItem: 400},
+		{Name: "http", Scope: core.PerPath, Agg: core.BySession, Ports: []uint16{80}, Transport: 6, CPUPerPkt: 2, MemPerItem: 600},
+		{Name: "scan", Scope: core.PerIngress, Agg: core.BySource, CPUPerPkt: 0.3, MemPerItem: 120},
+		{Name: "synflood", Scope: core.PerEgress, Agg: core.ByDestination, Transport: 6, CPUPerPkt: 0.2, MemPerItem: 60},
+	}
+	inst, err := core.BuildInstance(topo, classes, sessions, core.UniformCaps(topo.N(), 1e7, 1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.Solve(inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, sessions
+}
+
+func TestManifestRoundTripJSON(t *testing.T) {
+	plan, _ := solvedPlan(t, 1)
+	m, err := ManifestFromPlan(plan, 3, 7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Node != 3 || back.Epoch != 7 || back.HashKey != 42 {
+		t.Fatalf("header lost in round trip: %+v", back)
+	}
+	if len(back.Assignments) != len(m.Assignments) || len(back.Classes) != len(m.Classes) {
+		t.Fatal("payload lost in round trip")
+	}
+}
+
+func TestManifestFromPlanValidatesNode(t *testing.T) {
+	plan, _ := solvedPlan(t, 1)
+	if _, err := ManifestFromPlan(plan, 99, 1, 1); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+// TestDeciderMatchesPlan: the wire-form decider must agree with the
+// planner's own ShouldAnalyze on every (node, class, session) triple —
+// the distributed data path enforces exactly the planned assignment.
+func TestDeciderMatchesPlan(t *testing.T) {
+	plan, sessions := solvedPlan(t, 2)
+	const hashKey = 12345
+	h := hashing.Hasher{Key: hashKey}
+	for node := 0; node < plan.Inst.Topo.N(); node++ {
+		m, err := ManifestFromPlan(plan, node, 1, hashKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := NewDecider(m)
+		for _, s := range sessions[:600] {
+			for ci := range plan.Inst.Classes {
+				want := plan.ShouldAnalyze(node, ci, s, h)
+				got := d.ShouldAnalyze(ci, s)
+				if got != want {
+					t.Fatalf("node %d class %d session %d: decider=%v plan=%v",
+						node, ci, s.ID, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDeciderRejectsUnknownClass(t *testing.T) {
+	plan, sessions := solvedPlan(t, 3)
+	m, err := ManifestFromPlan(plan, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecider(m)
+	if d.ShouldAnalyze(-1, sessions[0]) || d.ShouldAnalyze(99, sessions[0]) {
+		t.Fatal("decider accepted out-of-range class")
+	}
+}
+
+func TestControllerAgentEndToEnd(t *testing.T) {
+	plan, sessions := solvedPlan(t, 4)
+	ctrl, err := NewController("127.0.0.1:0", 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	agent := NewAgent(ctrl.Addr(), 5)
+
+	// Before any plan: epoch 0, manifest fetch fails.
+	if e, err := agent.RemoteEpoch(); err != nil || e != 0 {
+		t.Fatalf("pre-plan epoch = %d, err %v", e, err)
+	}
+	if _, err := agent.Sync(); err == nil {
+		t.Fatal("expected error fetching manifest before any plan")
+	}
+
+	ctrl.UpdatePlan(plan)
+	epoch, err := agent.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", epoch)
+	}
+	d := agent.Decider()
+	if d == nil || d.Epoch() != 1 {
+		t.Fatal("decider not installed")
+	}
+
+	// Decisions over the wire match the plan.
+	h := hashing.Hasher{Key: 777}
+	for _, s := range sessions[:300] {
+		for ci := range plan.Inst.Classes {
+			if d.ShouldAnalyze(ci, s) != plan.ShouldAnalyze(5, ci, s, h) {
+				t.Fatalf("wire decision diverged for session %d class %d", s.ID, ci)
+			}
+		}
+	}
+
+	// SyncIfStale: no-op at the same epoch, refetch after an update.
+	if fetched, err := agent.SyncIfStale(); err != nil || fetched {
+		t.Fatalf("SyncIfStale at current epoch: fetched=%v err=%v", fetched, err)
+	}
+	ctrl.UpdatePlan(plan)
+	if fetched, err := agent.SyncIfStale(); err != nil || !fetched {
+		t.Fatalf("SyncIfStale after update: fetched=%v err=%v", fetched, err)
+	}
+	if agent.Decider().Epoch() != 2 {
+		t.Fatalf("decider epoch = %d, want 2", agent.Decider().Epoch())
+	}
+}
+
+func TestControllerConcurrentAgents(t *testing.T) {
+	plan, _ := solvedPlan(t, 5)
+	ctrl, err := NewController("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	ctrl.UpdatePlan(plan)
+
+	n := plan.Inst.Topo.N()
+	var wg sync.WaitGroup
+	errs := make(chan error, n*4)
+	for round := 0; round < 4; round++ {
+		for node := 0; node < n; node++ {
+			wg.Add(1)
+			go func(node int) {
+				defer wg.Done()
+				a := NewAgent(ctrl.Addr(), node)
+				if _, err := a.Sync(); err != nil {
+					errs <- err
+				}
+			}(node)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerMalformedRequests(t *testing.T) {
+	plan, _ := solvedPlan(t, 6)
+	ctrl, err := NewController("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	ctrl.UpdatePlan(plan)
+
+	// Unknown op.
+	a := NewAgent(ctrl.Addr(), 0)
+	if _, err := a.roundTrip(request{Op: "bogus"}); err == nil {
+		t.Fatal("expected error for unknown op")
+	}
+	// Out-of-range node.
+	bad := NewAgent(ctrl.Addr(), 10_000)
+	if _, err := bad.Sync(); err == nil {
+		t.Fatal("expected error for out-of-range node")
+	}
+	// Controller must still serve after bad requests.
+	good := NewAgent(ctrl.Addr(), 0)
+	if _, err := good.Sync(); err != nil {
+		t.Fatalf("controller wedged after malformed traffic: %v", err)
+	}
+}
+
+func TestAgentWatchDeliversEpochUpdates(t *testing.T) {
+	plan, _ := solvedPlan(t, 7)
+	ctrl, err := NewController("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	ctrl.UpdatePlan(plan)
+
+	agent := NewAgent(ctrl.Addr(), 1)
+	if _, err := agent.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	updates := agent.Watch(5*time.Millisecond, stop)
+
+	ctrl.UpdatePlan(plan) // epoch 2
+	select {
+	case e := <-updates:
+		if e != 2 {
+			t.Fatalf("update epoch %d, want 2", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no update delivered within 2s")
+	}
+	close(stop)
+	// Channel closes after stop.
+	for range updates {
+	}
+}

@@ -1,0 +1,266 @@
+package control
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"nwdeploy/internal/core"
+)
+
+// The protocol is one JSON request line and one JSON response line per TCP
+// connection — deliberately simple: manifests are small, fetches are
+// periodic (the paper's re-optimization cadence is minutes), and a
+// connectionless-style exchange avoids any session state to mismanage.
+
+// request is the agent->controller message.
+type request struct {
+	Op   string `json:"op"`   // "epoch" | "manifest"
+	Node int    `json:"node"` // for "manifest"
+}
+
+// response is the controller->agent message.
+type response struct {
+	Epoch    uint64    `json:"epoch"`
+	Manifest *Manifest `json:"manifest,omitempty"`
+	Err      string    `json:"err,omitempty"`
+}
+
+// Controller serves the current deployment's manifests to node agents.
+// Safe for concurrent use; UpdatePlan may be called while agents fetch.
+type Controller struct {
+	hashKey uint32
+
+	mu    sync.RWMutex
+	plan  *core.Plan
+	epoch uint64
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewController starts a controller listening on addr (e.g.
+// "127.0.0.1:0"). The hash key is distributed to agents with each
+// manifest, so the whole deployment samples consistently and adversaries
+// cannot predict range membership without it.
+func NewController(addr string, hashKey uint32) (*Controller, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("control: listen: %w", err)
+	}
+	c := &Controller{hashKey: hashKey, ln: ln, closed: make(chan struct{})}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listening address agents should dial.
+func (c *Controller) Addr() string { return c.ln.Addr().String() }
+
+// Epoch returns the current configuration generation (0 = no plan yet).
+func (c *Controller) Epoch() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epoch
+}
+
+// UpdatePlan installs a new deployment plan and bumps the epoch; agents
+// polling the epoch will observe the change and re-fetch.
+func (c *Controller) UpdatePlan(plan *core.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plan = plan
+	c.epoch++
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (c *Controller) Close() error {
+	close(c.closed)
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Controller) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			select {
+			case <-c.closed:
+				return
+			default:
+			}
+			// Transient accept errors: keep serving.
+			continue
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.serve(conn)
+		}()
+	}
+}
+
+func (c *Controller) serve(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	var req request
+	r := bufio.NewReader(conn)
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return
+	}
+	enc := json.NewEncoder(conn)
+	if err := json.Unmarshal(line, &req); err != nil {
+		_ = enc.Encode(response{Err: "malformed request"})
+		return
+	}
+
+	c.mu.RLock()
+	plan, epoch := c.plan, c.epoch
+	c.mu.RUnlock()
+
+	switch req.Op {
+	case "epoch":
+		_ = enc.Encode(response{Epoch: epoch})
+	case "manifest":
+		if plan == nil {
+			_ = enc.Encode(response{Epoch: epoch, Err: "no plan installed"})
+			return
+		}
+		m, err := ManifestFromPlan(plan, req.Node, epoch, c.hashKey)
+		if err != nil {
+			_ = enc.Encode(response{Epoch: epoch, Err: err.Error()})
+			return
+		}
+		_ = enc.Encode(response{Epoch: epoch, Manifest: m})
+	default:
+		_ = enc.Encode(response{Epoch: epoch, Err: fmt.Sprintf("unknown op %q", req.Op)})
+	}
+}
+
+// Agent is a node's client to the controller. It caches the last fetched
+// manifest and exposes a Decider for the data path.
+type Agent struct {
+	addr string
+	node int
+
+	mu      sync.RWMutex
+	decider *Decider
+}
+
+// NewAgent creates an agent for node; it holds no connection until used.
+func NewAgent(addr string, node int) *Agent {
+	return &Agent{addr: addr, node: node}
+}
+
+// roundTrip sends one request and decodes one response.
+func (a *Agent) roundTrip(req request) (*response, error) {
+	conn, err := net.DialTimeout("tcp", a.addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("control: dial %s: %w", a.addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("control: send: %w", err)
+	}
+	var resp response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("control: decode: %w", err)
+	}
+	if resp.Err != "" {
+		return &resp, errors.New("control: " + resp.Err)
+	}
+	return &resp, nil
+}
+
+// RemoteEpoch asks the controller for its current configuration epoch.
+func (a *Agent) RemoteEpoch() (uint64, error) {
+	resp, err := a.roundTrip(request{Op: "epoch"})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
+}
+
+// Sync fetches the node's manifest and installs a fresh decider. It
+// returns the manifest epoch.
+func (a *Agent) Sync() (uint64, error) {
+	resp, err := a.roundTrip(request{Op: "manifest", Node: a.node})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Manifest == nil {
+		return resp.Epoch, errors.New("control: empty manifest in response")
+	}
+	d := NewDecider(resp.Manifest)
+	a.mu.Lock()
+	a.decider = d
+	a.mu.Unlock()
+	return resp.Epoch, nil
+}
+
+// SyncIfStale fetches only when the controller's epoch differs from the
+// locally installed one — the periodic poll a node runs between the
+// paper's re-optimization rounds. It reports whether a fetch happened.
+func (a *Agent) SyncIfStale() (bool, error) {
+	remote, err := a.RemoteEpoch()
+	if err != nil {
+		return false, err
+	}
+	if d := a.Decider(); d != nil && d.Epoch() == remote {
+		return false, nil
+	}
+	if _, err := a.Sync(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Decider returns the currently installed decider (nil before first Sync).
+func (a *Agent) Decider() *Decider {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.decider
+}
+
+// Watch polls the controller every interval and resyncs whenever the
+// configuration epoch changes — the periodic refresh loop a node runs
+// between the operations center's re-optimizations. Each newly installed
+// epoch is delivered on the returned channel; transient fetch errors are
+// retried on the next tick. Watch returns when stop is closed, closing the
+// channel.
+func (a *Agent) Watch(interval time.Duration, stop <-chan struct{}) <-chan uint64 {
+	updates := make(chan uint64, 4)
+	go func() {
+		defer close(updates)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				fetched, err := a.SyncIfStale()
+				if err != nil || !fetched {
+					continue
+				}
+				select {
+				case updates <- a.Decider().Epoch():
+				default: // consumer lagging; epoch is observable via Decider
+				}
+			}
+		}
+	}()
+	return updates
+}

@@ -1,0 +1,171 @@
+// Package control implements the distribution side of the system: the
+// paper envisions "a centralized operations center [that] periodically
+// configures the NIDS responsibilities of the different nodes" from
+// NetFlow-style reports, re-running the optimization every few minutes.
+// This package provides the wire representation of sampling manifests, a
+// TCP controller that serves them, an agent that fetches them, and a
+// standalone Decider that executes the Figure 3 per-packet check from the
+// wire form alone — a node needs no access to the planner, the LP, or the
+// topology objects to enforce its assignment.
+package control
+
+import (
+	"fmt"
+
+	"nwdeploy/internal/core"
+	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/traffic"
+)
+
+// WireRange is one half-open hash range on the wire.
+type WireRange struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// WireClass carries the class semantics a node needs to resolve GETCLASS,
+// GETCOORDUNIT, and HASH for incoming packets.
+type WireClass struct {
+	Name      string   `json:"name"`
+	Scope     int      `json:"scope"` // core.Scope
+	Agg       int      `json:"agg"`   // core.Aggregation
+	Ports     []uint16 `json:"ports,omitempty"`
+	Transport uint8    `json:"transport,omitempty"`
+}
+
+// WireAssignment is one (class, coordination unit) range assignment.
+type WireAssignment struct {
+	Class  int         `json:"class"` // index into Manifest.Classes
+	Unit   [2]int      `json:"unit"`  // coordination-unit key
+	Ranges []WireRange `json:"ranges"`
+}
+
+// Manifest is one node's complete sampling manifest: the Figure 2 output
+// in distributable form.
+type Manifest struct {
+	Node        int              `json:"node"`
+	Epoch       uint64           `json:"epoch"`
+	HashKey     uint32           `json:"hash_key"`
+	Classes     []WireClass      `json:"classes"`
+	Assignments []WireAssignment `json:"assignments"`
+}
+
+// ManifestFromPlan extracts node j's manifest from a solved plan, stamped
+// with the given epoch and hash key.
+func ManifestFromPlan(plan *core.Plan, node int, epoch uint64, hashKey uint32) (*Manifest, error) {
+	if node < 0 || node >= len(plan.Manifests) {
+		return nil, fmt.Errorf("control: node %d out of range", node)
+	}
+	m := &Manifest{Node: node, Epoch: epoch, HashKey: hashKey}
+	for _, c := range plan.Inst.Classes {
+		m.Classes = append(m.Classes, WireClass{
+			Name:      c.Name,
+			Scope:     int(c.Scope),
+			Agg:       int(c.Agg),
+			Ports:     c.Ports,
+			Transport: c.Transport,
+		})
+	}
+	for ui, rs := range plan.Manifests[node].Ranges {
+		u := plan.Inst.Units[ui]
+		wa := WireAssignment{Class: u.Class, Unit: u.Key}
+		for _, r := range rs {
+			if r.Width() > 0 {
+				wa.Ranges = append(wa.Ranges, WireRange{Lo: r.Lo, Hi: r.Hi})
+			}
+		}
+		if len(wa.Ranges) > 0 {
+			m.Assignments = append(m.Assignments, wa)
+		}
+	}
+	return m, nil
+}
+
+// Decider executes the per-packet coordination check of Figure 3 from a
+// wire manifest, with no dependency on the planner's data structures.
+type Decider struct {
+	manifest *Manifest
+	hasher   hashing.Hasher
+	ranges   map[assignKey]hashing.RangeSet
+}
+
+type assignKey struct {
+	class int
+	unit  [2]int
+}
+
+// NewDecider indexes a manifest for per-packet use.
+func NewDecider(m *Manifest) *Decider {
+	d := &Decider{
+		manifest: m,
+		hasher:   hashing.Hasher{Key: m.HashKey},
+		ranges:   make(map[assignKey]hashing.RangeSet, len(m.Assignments)),
+	}
+	for _, a := range m.Assignments {
+		var rs hashing.RangeSet
+		for _, r := range a.Ranges {
+			rs = append(rs, hashing.Range{Lo: r.Lo, Hi: r.Hi})
+		}
+		d.ranges[assignKey{a.Class, a.Unit}] = rs
+	}
+	return d
+}
+
+// Epoch reports the manifest generation this decider enforces.
+func (d *Decider) Epoch() uint64 { return d.manifest.Epoch }
+
+// ShouldAnalyze resolves whether this node analyzes the session for the
+// class. Unit resolution follows the class scope exactly as the planner's
+// Instance.UnitFor does, but using only the session's addressing (the
+// node-prefix convention stands in for the paper's prefix-to-ingress
+// configuration files).
+func (d *Decider) ShouldAnalyze(class int, s traffic.Session) bool {
+	if class < 0 || class >= len(d.manifest.Classes) {
+		return false
+	}
+	c := d.manifest.Classes[class]
+	if c.Transport != 0 && s.Tuple.Proto != c.Transport {
+		return false
+	}
+	if len(c.Ports) > 0 {
+		ok := false
+		for _, p := range c.Ports {
+			if s.Tuple.DstPort == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	var key [2]int
+	switch core.Scope(c.Scope) {
+	case core.PerIngress:
+		key = [2]int{s.Src, -1}
+	case core.PerEgress:
+		key = [2]int{s.Dst, -1}
+	default:
+		a, b := s.Src, s.Dst
+		if a > b {
+			a, b = b, a
+		}
+		key = [2]int{a, b}
+	}
+	rs, ok := d.ranges[assignKey{class, key}]
+	if !ok {
+		return false
+	}
+	var h float64
+	switch core.Aggregation(c.Agg) {
+	case core.ByFlow:
+		h = d.hasher.Flow(s.Tuple)
+	case core.BySource:
+		h = d.hasher.Source(s.Tuple)
+	case core.ByDestination:
+		h = d.hasher.Destination(s.Tuple)
+	default:
+		h = d.hasher.Session(s.Tuple)
+	}
+	return rs.Contains(h)
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nwdeploy/internal/lp"
+)
+
+// GreedyPlan is the ablation baseline for the LP: it assigns each
+// coordination unit wholly to whichever eligible node currently carries
+// the least load (normalized max of CPU and memory), with no fractional
+// splitting. It shows how much of the coordinated deployment's benefit
+// comes from the optimization itself rather than from merely spreading
+// work off the edge.
+func GreedyPlan(inst *Instance) *Plan {
+	n := inst.Topo.N()
+	cpu := make([]float64, n)
+	mem := make([]float64, n)
+
+	p := &Plan{Inst: inst, Redundancy: 1}
+	p.Assignments = make([]Assignment, len(inst.Units))
+	for ui, u := range inst.Units {
+		c := inst.Classes[u.Class]
+		best, bestLoad := -1, math.Inf(1)
+		for _, node := range u.Nodes {
+			load := math.Max(
+				cpu[node]+c.CPUPerPkt*u.Pkts/inst.Caps[node].CPU,
+				mem[node]+c.MemPerItem*u.Items/inst.Caps[node].Mem,
+			)
+			if load < bestLoad {
+				best, bestLoad = node, load
+			}
+		}
+		frac := make([]float64, len(u.Nodes))
+		for vi, node := range u.Nodes {
+			if node == best {
+				frac[vi] = 1
+			}
+		}
+		cpu[best] += c.CPUPerPkt * u.Pkts / inst.Caps[best].CPU
+		mem[best] += c.MemPerItem * u.Items / inst.Caps[best].Mem
+		p.Assignments[ui] = Assignment{Unit: ui, Frac: frac}
+	}
+	p.buildManifests()
+	p.MaxCPULoad, p.MaxMemLoad = Loads(inst, p)
+	p.Objective = math.Max(p.MaxCPULoad, p.MaxMemLoad)
+	return p
+}
+
+// Scaled returns a copy of the instance with every coordination unit's
+// volumes multiplied by scale(unit) — the hook the Section 5 conservative
+// provisioning uses to plan on 95th-percentile rather than mean volumes.
+// Topology, classes, capacities, and unit identity are shared; plans
+// solved on the scaled instance can therefore be evaluated against the
+// original (or any other scaling) with PerNodeLoads.
+func (inst *Instance) Scaled(scale func(CoordUnit) float64) *Instance {
+	out := &Instance{
+		Topo:    inst.Topo,
+		Classes: inst.Classes,
+		Caps:    inst.Caps,
+		Units:   make([]CoordUnit, len(inst.Units)),
+		unitIdx: inst.unitIdx,
+	}
+	for ui, u := range inst.Units {
+		f := scale(u)
+		scaled := u
+		scaled.Pkts *= f
+		scaled.Items *= f
+		out.Units[ui] = scaled
+	}
+	return out
+}
+
+// AggregationConfig models the paper's Section 5 "Aggregated analysis"
+// extension: classes whose results must be correlated network-wide (alert
+// correlation, anomaly detection on traffic feature distributions) ship
+// per-item digests from the analyzing node to a collector. The shipping
+// consumes a communication budget proportional to hop distance, coupling
+// the placement problem to the network cost of aggregation.
+type AggregationConfig struct {
+	// Collector is the node where aggregated views are assembled.
+	Collector int
+	// BytesPerItem is the digest size shipped per analyzed item.
+	BytesPerItem float64
+	// Budget caps the total digest byte-hops per optimization interval.
+	Budget float64
+}
+
+// SolveWithAggregation solves the placement LP with an added network-wide
+// communication constraint: the total (digest bytes x hop distance to the
+// collector) across all assignments must fit the budget. A loose budget
+// reproduces Solve exactly; tightening it pulls analysis toward the
+// collector at the price of a higher max load.
+func SolveWithAggregation(inst *Instance, r int, agg AggregationConfig) (*Plan, error) {
+	if agg.Collector < 0 || agg.Collector >= inst.Topo.N() {
+		return nil, fmt.Errorf("core: collector node %d out of range", agg.Collector)
+	}
+	if agg.Budget <= 0 || agg.BytesPerItem <= 0 {
+		return nil, fmt.Errorf("core: aggregation budget and digest size must be positive")
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("core: redundancy level %d < 1", r)
+	}
+	for _, u := range inst.Units {
+		if len(u.Nodes) < r {
+			return nil, fmt.Errorf("core: unit %v has %d eligible nodes < redundancy %d", u.Key, len(u.Nodes), r)
+		}
+	}
+
+	// Hop distance from every node to the collector.
+	hops := make([]float64, inst.Topo.N())
+	paths := inst.Topo.ShortestPaths(agg.Collector)
+	for j := range hops {
+		if len(paths[j]) == 0 {
+			return nil, fmt.Errorf("core: node %d cannot reach collector %d", j, agg.Collector)
+		}
+		hops[j] = float64(len(paths[j]) - 1)
+	}
+
+	p := lp.New(lp.Minimize)
+	lambda := p.AddVar("lambda", 1, 0, lp.Inf())
+	dVars := make([][]lp.Var, len(inst.Units))
+	n := inst.Topo.N()
+	cpuTerms := make([][]lp.Term, n)
+	memTerms := make([][]lp.Term, n)
+	var commTerms []lp.Term
+	for ui, u := range inst.Units {
+		c := inst.Classes[u.Class]
+		dVars[ui] = make([]lp.Var, len(u.Nodes))
+		cover := make([]lp.Term, 0, len(u.Nodes))
+		for vi, node := range u.Nodes {
+			v := p.AddVar(fmt.Sprintf("d[%d,%d]", ui, node), 0, 0, 1)
+			dVars[ui][vi] = v
+			cover = append(cover, lp.Term{Var: v, Coef: 1})
+			if w := c.CPUPerPkt * u.Pkts / inst.Caps[node].CPU; w != 0 {
+				cpuTerms[node] = append(cpuTerms[node], lp.Term{Var: v, Coef: w})
+			}
+			if w := c.MemPerItem * u.Items / inst.Caps[node].Mem; w != 0 {
+				memTerms[node] = append(memTerms[node], lp.Term{Var: v, Coef: w})
+			}
+			if w := agg.BytesPerItem * u.Items * hops[node]; w != 0 {
+				commTerms = append(commTerms, lp.Term{Var: v, Coef: w})
+			}
+		}
+		p.AddConstraint(fmt.Sprintf("cover[%d]", ui), cover, lp.EQ, float64(r))
+	}
+	for j := 0; j < n; j++ {
+		if len(cpuTerms[j]) > 0 {
+			p.AddConstraint(fmt.Sprintf("cpu[%d]", j),
+				append([]lp.Term{{Var: lambda, Coef: -1}}, cpuTerms[j]...), lp.LE, 0)
+		}
+		if len(memTerms[j]) > 0 {
+			p.AddConstraint(fmt.Sprintf("mem[%d]", j),
+				append([]lp.Term{{Var: lambda, Coef: -1}}, memTerms[j]...), lp.LE, 0)
+		}
+	}
+	if len(commTerms) > 0 {
+		p.AddConstraint("agg-budget", commTerms, lp.LE, agg.Budget)
+	}
+
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("core: aggregation LP: %w", err)
+	}
+	switch sol.Status {
+	case lp.StatusOptimal:
+	case lp.StatusInfeasible:
+		return nil, fmt.Errorf("core: aggregation budget %v is infeasible for this workload", agg.Budget)
+	default:
+		return nil, fmt.Errorf("core: aggregation LP %v", sol.Status)
+	}
+
+	plan := &Plan{Inst: inst, Redundancy: r, Objective: sol.Objective, SolverIters: sol.Iters}
+	plan.Assignments = make([]Assignment, len(inst.Units))
+	for ui := range inst.Units {
+		frac := make([]float64, len(dVars[ui]))
+		for vi, v := range dVars[ui] {
+			frac[vi] = clamp01(sol.Value(v))
+		}
+		plan.Assignments[ui] = Assignment{Unit: ui, Frac: frac}
+	}
+	plan.buildManifests()
+	plan.MaxCPULoad, plan.MaxMemLoad = Loads(inst, plan)
+	return plan, nil
+}
+
+// AggregationCost evaluates a plan's digest byte-hops toward a collector —
+// the quantity SolveWithAggregation budgets.
+func AggregationCost(inst *Instance, p *Plan, agg AggregationConfig) float64 {
+	hops := make([]float64, inst.Topo.N())
+	paths := inst.Topo.ShortestPaths(agg.Collector)
+	for j := range hops {
+		if len(paths[j]) > 0 {
+			hops[j] = float64(len(paths[j]) - 1)
+		}
+	}
+	var cost float64
+	for ui, a := range p.Assignments {
+		u := inst.Units[ui]
+		for vi, node := range u.Nodes {
+			cost += a.Frac[vi] * agg.BytesPerItem * u.Items * hops[node]
+		}
+	}
+	return cost
+}
+
+// CoverageUnderFailure evaluates a plan's residual analysis coverage when
+// the given nodes have failed — the scenario the Section 2.5 redundancy
+// extension provisions for ("robust to NIDS failures ... hardware or OS
+// crashes"). It returns the worst-case fraction of any coordination unit's
+// hash space still analyzed by at least one surviving node, and the
+// average across units. A plan solved with redundancy r keeps full
+// coverage under any r-1 failures of nodes that share units.
+func CoverageUnderFailure(p *Plan, failed []int) (worst, avg float64) {
+	down := make(map[int]bool, len(failed))
+	for _, j := range failed {
+		down[j] = true
+	}
+	inst := p.Inst
+	worst = 1
+	if len(inst.Units) == 0 {
+		return 1, 1
+	}
+	// Probe the hash space finely; ranges are few per unit, so interval
+	// arithmetic would also work, but probing keeps the dependency on the
+	// exact RangeSet shape minimal and is plenty accurate at 1e4 points.
+	const probes = 10000
+	for ui := range inst.Units {
+		coveredPts := 0
+		for t := 0; t < probes; t++ {
+			x := (float64(t) + 0.5) / probes
+			for _, node := range inst.Units[ui].Nodes {
+				if down[node] {
+					continue
+				}
+				if p.Manifests[node].Ranges[ui].Contains(x) {
+					coveredPts++
+					break
+				}
+			}
+		}
+		frac := float64(coveredPts) / probes
+		if frac < worst {
+			worst = frac
+		}
+		avg += frac
+	}
+	avg /= float64(len(inst.Units))
+	return worst, avg
+}

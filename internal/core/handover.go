@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nwdeploy/internal/hashing"
+)
+
+// The paper's Section 5 "Routing changes" discussion: when routes change
+// and the optimization is re-run, a node that holds connection state for
+// some hash range may no longer be responsible for — or even observe —
+// that traffic. Correctness is preserved by (1) having nodes retain their
+// old responsibilities until existing connections drain, while taking on
+// new assignments immediately, and (2) transferring live analysis state to
+// the newly responsible node for ranges whose old analyst left the path.
+// PlanTransition computes exactly those artifacts.
+
+// Retention is an old responsibility a node keeps during the drain window:
+// it accepts no *new* connections in these ranges but continues analyzing
+// established ones.
+type Retention struct {
+	Node   int
+	Unit   [2]int // coordination-unit key
+	Class  int
+	Ranges hashing.RangeSet
+}
+
+// StateTransfer moves live per-connection analysis state for a hash range
+// from a node that left the unit's path to the node now responsible for
+// that range (the paper's [34], Sommer & Paxson's independent state).
+type StateTransfer struct {
+	Class    int
+	Unit     [2]int
+	From, To int
+	Range    hashing.Range
+}
+
+// Transition describes the handover from an old plan to a new one.
+type Transition struct {
+	Old, New *Plan
+	// Retentions lists old assignments every node keeps until its existing
+	// connections expire.
+	Retentions []Retention
+	// Transfers lists the state migrations required because the old
+	// analyst no longer observes the traffic under the new routing.
+	Transfers []StateTransfer
+}
+
+// PlanTransition computes the drain-window retentions and the state
+// transfers needed to move from oldPlan to newPlan. The two plans must be
+// over the same class list (by name and order); units are matched by
+// (class, key), so the instances may differ in topology, routing, and
+// traffic.
+func PlanTransition(oldPlan, newPlan *Plan) (*Transition, error) {
+	oldInst, newInst := oldPlan.Inst, newPlan.Inst
+	if len(oldInst.Classes) != len(newInst.Classes) {
+		return nil, fmt.Errorf("core: class lists differ (%d vs %d)", len(oldInst.Classes), len(newInst.Classes))
+	}
+	for i := range oldInst.Classes {
+		if oldInst.Classes[i].Name != newInst.Classes[i].Name {
+			return nil, fmt.Errorf("core: class %d renamed %q -> %q", i, oldInst.Classes[i].Name, newInst.Classes[i].Name)
+		}
+	}
+
+	tr := &Transition{Old: oldPlan, New: newPlan}
+
+	// Index new units by (class, key).
+	newUnit := make(map[unitRef]int, len(newInst.Units))
+	for ui, u := range newInst.Units {
+		newUnit[unitRef{u.Class, u.Key}] = ui
+	}
+
+	for oldUI, oldU := range oldInst.Units {
+		// Every node's old assignment is retained during the drain window.
+		for _, node := range oldU.Nodes {
+			if rs, ok := oldPlan.Manifests[node].Ranges[oldUI]; ok && rs.Width() > 0 {
+				tr.Retentions = append(tr.Retentions, Retention{
+					Node: node, Unit: oldU.Key, Class: oldU.Class, Ranges: rs,
+				})
+			}
+		}
+
+		newUI, ok := newUnit[unitRef{oldU.Class, oldU.Key}]
+		if !ok {
+			continue // the traffic component disappeared; state just drains
+		}
+		newU := newInst.Units[newUI]
+
+		// Nodes that left the path can no longer see packets for their
+		// retained connections: their ranges must migrate to the new
+		// owners of those hash points.
+		onNewPath := make(map[int]bool, len(newU.Nodes))
+		for _, n := range newU.Nodes {
+			onNewPath[n] = true
+		}
+		for _, from := range oldU.Nodes {
+			if onNewPath[from] {
+				continue
+			}
+			fromRanges, ok := oldPlan.Manifests[from].Ranges[oldUI]
+			if !ok {
+				continue
+			}
+			for _, fr := range fromRanges {
+				if fr.Width() == 0 {
+					continue
+				}
+				for _, to := range newU.Nodes {
+					toRanges, ok := newPlan.Manifests[to].Ranges[newUI]
+					if !ok {
+						continue
+					}
+					for _, nr := range toRanges {
+						if ov, nonEmpty := intersect(fr, nr); nonEmpty {
+							tr.Transfers = append(tr.Transfers, StateTransfer{
+								Class: oldU.Class, Unit: oldU.Key,
+								From: from, To: to, Range: ov,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+
+	sort.Slice(tr.Transfers, func(i, j int) bool {
+		a, b := tr.Transfers[i], tr.Transfers[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Unit != b.Unit {
+			return a.Unit[0] < b.Unit[0] || (a.Unit[0] == b.Unit[0] && a.Unit[1] < b.Unit[1])
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.Range.Lo < b.Range.Lo
+	})
+	return tr, nil
+}
+
+// intersect returns the overlap of two half-open ranges.
+func intersect(a, b hashing.Range) (hashing.Range, bool) {
+	lo := a.Lo
+	if b.Lo > lo {
+		lo = b.Lo
+	}
+	hi := a.Hi
+	if b.Hi < hi {
+		hi = b.Hi
+	}
+	if hi <= lo {
+		return hashing.Range{}, false
+	}
+	return hashing.Range{Lo: lo, Hi: hi}, true
+}
+
+// TransferredWidth sums, per (class, unit, from), the hash-space width
+// being migrated — useful for estimating handover cost.
+func (t *Transition) TransferredWidth() float64 {
+	var w float64
+	for _, x := range t.Transfers {
+		w += x.Range.Width()
+	}
+	return w
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/topology"
+	"nwdeploy/internal/traffic"
+)
+
+// lineTopology builds a 4-node line A-B-C-D; withShortcut adds a direct
+// A-D link that reroutes the A<->D path away from B and C.
+func lineTopology(withShortcut bool) *topology.Topology {
+	nodes := []topology.Node{
+		{ID: 0, Name: "A", Population: 1e6, Lat: 30, Lon: -100},
+		{ID: 1, Name: "B", Population: 1e5, Lat: 32, Lon: -95},
+		{ID: 2, Name: "C", Population: 1e5, Lat: 34, Lon: -90},
+		{ID: 3, Name: "D", Population: 1e6, Lat: 36, Lon: -85},
+	}
+	t := topology.New("line", nodes)
+	t.AddLink(0, 1, 10)
+	t.AddLink(1, 2, 10)
+	t.AddLink(2, 3, 10)
+	if withShortcut {
+		t.AddLink(0, 3, 5)
+	}
+	return t
+}
+
+func transitionPlans(t *testing.T) (*Plan, *Plan) {
+	t.Helper()
+	classes := []Class{
+		{Name: "signature", Scope: PerPath, Agg: BySession, CPUPerPkt: 1, MemPerItem: 400},
+	}
+	caps := UniformCaps(4, 1e6, 1e9)
+
+	before := lineTopology(false)
+	after := lineTopology(true)
+	tm := traffic.Gravity(before)
+	sessions := traffic.Generate(before, tm, traffic.GenConfig{Sessions: 2000, Seed: 9})
+
+	oldInst, err := BuildInstance(before, classes, sessions, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldPlan, err := Solve(oldInst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newInst, err := BuildInstance(after, classes, sessions, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPlan, err := Solve(newInst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return oldPlan, newPlan
+}
+
+func TestPlanTransitionTransfersDepartedRanges(t *testing.T) {
+	oldPlan, newPlan := transitionPlans(t)
+	tr, err := PlanTransition(oldPlan, newPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The A<->D path changed from A-B-C-D to A-D: any range B or C owned
+	// for the (0,3) unit must transfer to A or D.
+	var departedWidth, transferredWidth float64
+	for oldUI, oldU := range oldPlan.Inst.Units {
+		if oldU.Key != [2]int{0, 3} {
+			continue
+		}
+		for _, node := range []int{1, 2} {
+			departedWidth += oldPlan.Manifests[node].Ranges[oldUI].Width()
+		}
+	}
+	for _, x := range tr.Transfers {
+		if x.Unit == [2]int{0, 3} {
+			if x.From != 1 && x.From != 2 {
+				t.Fatalf("transfer from node %d, which is still on the path", x.From)
+			}
+			if x.To != 0 && x.To != 3 {
+				t.Fatalf("transfer to node %d, which is not on the new path", x.To)
+			}
+			transferredWidth += x.Range.Width()
+		}
+	}
+	if departedWidth == 0 {
+		t.Skip("LP happened to assign the whole unit to the endpoints; nothing to test")
+	}
+	if math.Abs(departedWidth-transferredWidth) > 1e-9 {
+		t.Fatalf("departed width %v != transferred width %v: state would be stranded",
+			departedWidth, transferredWidth)
+	}
+}
+
+func TestPlanTransitionRetainsOldAssignments(t *testing.T) {
+	oldPlan, newPlan := transitionPlans(t)
+	tr, err := PlanTransition(oldPlan, newPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every nonzero old manifest entry appears as a retention.
+	want := 0
+	for _, m := range oldPlan.Manifests {
+		for _, rs := range m.Ranges {
+			if rs.Width() > 0 {
+				want++
+			}
+		}
+	}
+	if len(tr.Retentions) != want {
+		t.Fatalf("got %d retentions, want %d", len(tr.Retentions), want)
+	}
+	if tr.TransferredWidth() < 0 {
+		t.Fatal("negative transferred width")
+	}
+}
+
+func TestPlanTransitionNoRoutingChangeNoTransfers(t *testing.T) {
+	classes := []Class{
+		{Name: "signature", Scope: PerPath, Agg: BySession, CPUPerPkt: 1, MemPerItem: 400},
+	}
+	topo := lineTopology(false)
+	tm := traffic.Gravity(topo)
+	caps := UniformCaps(4, 1e6, 1e9)
+	sessions := traffic.Generate(topo, tm, traffic.GenConfig{Sessions: 1500, Seed: 2})
+	inst, err := BuildInstance(topo, classes, sessions, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan1, err := Solve(inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same routing, different traffic volumes: assignments shift but no
+	// node leaves any path, so no state transfers are needed.
+	sessions2 := traffic.Generate(topo, tm, traffic.GenConfig{Sessions: 3000, Seed: 8})
+	inst2, err := BuildInstance(topo, classes, sessions2, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := Solve(inst2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := PlanTransition(plan1, plan2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Transfers) != 0 {
+		t.Fatalf("expected no transfers for unchanged routing, got %d", len(tr.Transfers))
+	}
+}
+
+func TestPlanTransitionRejectsMismatchedClasses(t *testing.T) {
+	oldPlan, newPlan := transitionPlans(t)
+	// Tamper with a class name (on a private copy: the two instances share
+	// the class slice they were built from).
+	newPlan.Inst.Classes = append([]Class(nil), newPlan.Inst.Classes...)
+	newPlan.Inst.Classes[0].Name = "renamed"
+	if _, err := PlanTransition(oldPlan, newPlan); err == nil {
+		t.Fatal("expected error for renamed class")
+	}
+	newPlan.Inst.Classes = newPlan.Inst.Classes[:0]
+	if _, err := PlanTransition(oldPlan, newPlan); err == nil {
+		t.Fatal("expected error for class-count mismatch")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		a, b   [2]float64
+		want   [2]float64
+		hasAny bool
+	}{
+		{[2]float64{0, 0.5}, [2]float64{0.25, 0.75}, [2]float64{0.25, 0.5}, true},
+		{[2]float64{0, 0.5}, [2]float64{0.5, 1}, [2]float64{}, false},
+		{[2]float64{0.2, 0.3}, [2]float64{0, 1}, [2]float64{0.2, 0.3}, true},
+	}
+	for _, c := range cases {
+		got, ok := intersect(rng(c.a), rng(c.b))
+		if ok != c.hasAny {
+			t.Fatalf("intersect(%v,%v) ok=%v", c.a, c.b, ok)
+		}
+		if ok && (got.Lo != c.want[0] || got.Hi != c.want[1]) {
+			t.Fatalf("intersect(%v,%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+// rng builds a hashing.Range from a pair, keeping table-driven cases terse.
+func rng(p [2]float64) hashing.Range { return hashing.Range{Lo: p[0], Hi: p[1]} }

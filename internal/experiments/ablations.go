@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nwdeploy/internal/bro"
+	"nwdeploy/internal/core"
+	"nwdeploy/internal/nips"
+	"nwdeploy/internal/online"
+	"nwdeploy/internal/topology"
+	"nwdeploy/internal/traffic"
+)
+
+// AblationRow is one design-choice comparison: a named metric under the
+// baseline design and under the ablated/extended design.
+type AblationRow struct {
+	Name     string
+	Metric   string
+	Baseline float64
+	Variant  float64
+}
+
+// Ablations quantifies the design choices DESIGN.md calls out:
+//
+//   - lp-vs-greedy: the LP's min-max load against a greedy whole-unit
+//     assignment — how much of the benefit is the optimization itself.
+//   - fine-grained-mem / fine-grained-cpu: the Section 2.5 first-packet
+//     extension against record-granularity coordination.
+//   - keyed-hash: NIPS drop rate over evadable cells when the adversary
+//     knows the sampling key versus when the key is private.
+func Ablations(cfg Config) ([]AblationRow, error) {
+	var rows []AblationRow
+	topo := topology.Internet2()
+	tm := traffic.Gravity(topo)
+	sessions := traffic.Generate(topo, tm, traffic.GenConfig{
+		Sessions: cfg.sessions(60000), Seed: 19, HostsPerNode: 16,
+	})
+
+	// LP vs greedy assignment.
+	classes := bro.Classes(bro.StandardModules()[1:])
+	inst, err := core.BuildInstance(topo, classes, sessions, core.UniformCaps(topo.N(), 1e7, 1e9))
+	if err != nil {
+		return nil, err
+	}
+	lpPlan, err := core.Solve(inst, 1)
+	if err != nil {
+		return nil, err
+	}
+	greedy := core.GreedyPlan(inst)
+	rows = append(rows, AblationRow{
+		Name: "lp-vs-greedy", Metric: "min-max load (lower is better)",
+		Baseline: greedy.Objective, Variant: lpPlan.Objective,
+	})
+
+	// Fine-grained coordination.
+	em, err := bro.NewEmulation(topo, bro.StandardModules()[1:], sessions, core.UniformCaps(topo.N(), 1e9, 1e12))
+	if err != nil {
+		return nil, err
+	}
+	coarse := em.RunFineGrained(bro.DeployCoordinated, false)
+	fine := em.RunFineGrained(bro.DeployCoordinated, true)
+	rows = append(rows,
+		AblationRow{
+			Name: "fine-grained-mem", Metric: "max per-node memory",
+			Baseline: coarse.MaxMem(), Variant: fine.MaxMem(),
+		},
+		AblationRow{
+			Name: "fine-grained-cpu", Metric: "max per-node CPU",
+			Baseline: coarse.MaxCPU(), Variant: fine.MaxCPU(),
+		},
+	)
+
+	// Keyed hash vs known key under an evading adversary.
+	ninst := nips.NewInstance(topo, nips.UnitRules(10), nips.Config{
+		MaxPaths:             12,
+		RuleCapacityFraction: 0.3,
+		MatchSeed:            23,
+	})
+	dep, _, err := nips.Solve(ninst, nips.VariantRoundGreedyLP, 3, rand.New(rand.NewSource(4)))
+	if err != nil {
+		return nil, err
+	}
+	informed := nips.SimulateEvasion(ninst, dep, 555, 555, 40, 64, rand.New(rand.NewSource(5)))
+	blind := nips.SimulateEvasion(ninst, dep, 555, 556, 40, 64, rand.New(rand.NewSource(5)))
+	rows = append(rows, AblationRow{
+		Name: "keyed-hash", Metric: "drop rate over evadable cells (higher is better)",
+		Baseline: informed.DroppedEvadable, Variant: blind.DroppedEvadable,
+	})
+	return rows, nil
+}
+
+// AdversaryRow is one adversary's outcome against the FPL deployer.
+type AdversaryRow struct {
+	Adversary   string
+	FinalRegret float64
+	FPLTotal    float64
+}
+
+// Adversaries plays the Section 3.5 deployer against the oblivious,
+// drifting, and fully adaptive adversaries — the strategic-adversary
+// evaluation the paper leaves as future work.
+func Adversaries(cfg Config) ([]AdversaryRow, error) {
+	epochs, rules, paths := 400, 6, 10
+	if cfg.Quick {
+		epochs, rules, paths = 80, 4, 8
+	}
+	inst := nips.NewInstance(topology.Internet2(), nips.UnitRules(rules), nips.Config{
+		MaxPaths:             paths,
+		RuleCapacityFraction: 1,
+		MatchSeed:            31,
+	})
+	advs := []online.Adversary{
+		&online.UniformAdversary{Rules: rules, Paths: len(inst.Paths), High: 0.01, Seed: 7},
+		&online.DriftAdversary{Rules: rules, Paths: len(inst.Paths), High: 0.01, Period: epochs / 8, Hot: 3, Seed: 7},
+		&online.EvasiveAdversary{Inst: inst, High: 0.01, Hot: 4, Seed: 7},
+	}
+	var rows []AdversaryRow
+	for _, adv := range advs {
+		res, err := online.RunVsAdversary(inst, adv, online.RunConfig{
+			Epochs:      epochs,
+			SampleEvery: epochs / 8,
+			Seed:        7,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("adversary %s: %w", adv.Name(), err)
+		}
+		rows = append(rows, AdversaryRow{
+			Adversary:   adv.Name(),
+			FinalRegret: res.Series[len(res.Series)-1].Normalized,
+			FPLTotal:    res.FPLTotal,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"nwdeploy/internal/nips"
+)
+
+var quick = Config{Quick: true}
+
+func TestFig5ReproducesPaperShape(t *testing.T) {
+	rows := Fig5(quick)
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want 9 modules", len(rows))
+	}
+	byName := map[string]Fig5Row{}
+	for _, r := range rows {
+		byName[r.Module] = r
+	}
+	// Cheap group: ~2% in both variants.
+	for _, n := range []string{"baseline", "signature", "blaster", "synflood"} {
+		r := byName[n]
+		if r.PolicyCPU > 0.06 || r.EventCPU > 0.06 {
+			t.Errorf("%s: CPU overheads (%.3f, %.3f) exceed the ~2%% group bound", n, r.PolicyCPU, r.EventCPU)
+		}
+	}
+	// Policy-bound group: ~10% in both variants (checks cannot move).
+	for _, n := range []string{"scan", "tftp"} {
+		r := byName[n]
+		if r.PolicyCPU < 0.05 || math.Abs(r.PolicyCPU-r.EventCPU) > 1e-9 {
+			t.Errorf("%s: overheads (%.3f, %.3f) not in the ~10%%/equal pattern", n, r.PolicyCPU, r.EventCPU)
+		}
+	}
+	// Event-relocatable group: policy >> event.
+	for _, n := range []string{"http", "irc", "login"} {
+		r := byName[n]
+		if r.PolicyCPU < 2*r.EventCPU {
+			t.Errorf("%s: policy overhead %.3f not well above event %.3f", n, r.PolicyCPU, r.EventCPU)
+		}
+	}
+	// Memory overhead at most ~6% everywhere (Figure 5(b)).
+	for _, r := range rows {
+		if r.PolicyMem <= 0 || r.PolicyMem > 0.065 || r.EventMem <= 0 || r.EventMem > 0.065 {
+			t.Errorf("%s: memory overheads (%.4f, %.4f) out of (0, 6.5%%]", r.Module, r.PolicyMem, r.EventMem)
+		}
+	}
+}
+
+func TestFig6CoordinatedScalesBetter(t *testing.T) {
+	rows, err := Fig6(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.CoordCPU >= r.EdgeCPU {
+			t.Errorf("modules=%d: coordinated CPU %.3g >= edge %.3g", r.Modules, r.CoordCPU, r.EdgeCPU)
+		}
+		if r.CoordMem >= r.EdgeMem {
+			t.Errorf("modules=%d: coordinated mem %.3g >= edge %.3g", r.Modules, r.CoordMem, r.EdgeMem)
+		}
+	}
+	// The gap should widen (or at least persist) as modules grow.
+	first, last := rows[0], rows[len(rows)-1]
+	if last.EdgeCPU-last.CoordCPU < first.EdgeCPU-first.CoordCPU {
+		t.Errorf("CPU gap shrank from %.3g to %.3g as modules grew",
+			first.EdgeCPU-first.CoordCPU, last.EdgeCPU-last.CoordCPU)
+	}
+}
+
+func TestFig7CoordinationSavingsAtScale(t *testing.T) {
+	rows, err := Fig7(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	cpuSaving := 1 - last.CoordCPU/last.EdgeCPU
+	memSaving := 1 - last.CoordMem/last.EdgeMem
+	// Paper: ~50% CPU and ~20% memory reduction at the largest volume.
+	if cpuSaving < 0.3 {
+		t.Errorf("CPU saving %.2f, want >= 0.3 (paper ~0.5)", cpuSaving)
+	}
+	if memSaving < 0.1 {
+		t.Errorf("memory saving %.2f, want >= 0.1 (paper ~0.2)", memSaving)
+	}
+	// Monotone growth in load with volume for both deployments.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].EdgeCPU < rows[i-1].EdgeCPU || rows[i].CoordCPU < rows[i-1].CoordCPU {
+			t.Errorf("CPU not monotone in volume at row %d", i)
+		}
+	}
+}
+
+func TestFig8NewYorkHotspot(t *testing.T) {
+	rows, err := Fig8(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("got %d rows, want 11 nodes", len(rows))
+	}
+	var ny Fig8Row
+	maxEdge := -1.0
+	var hottest string
+	for _, r := range rows {
+		if r.City == "New York" {
+			ny = r
+		}
+		if r.EdgeCPU > maxEdge {
+			maxEdge, hottest = r.EdgeCPU, r.City
+		}
+	}
+	if hottest != "New York" {
+		t.Errorf("edge hotspot is %s, want New York", hottest)
+	}
+	if ny.CoordCPU >= ny.EdgeCPU {
+		t.Errorf("coordination did not offload New York: %.3g >= %.3g", ny.CoordCPU, ny.EdgeCPU)
+	}
+	// Some node must take on more work than in the edge deployment (the
+	// offloading target, the paper's nodes 6 and 8).
+	gained := false
+	for _, r := range rows {
+		if r.CoordCPU > r.EdgeCPU {
+			gained = true
+		}
+	}
+	if !gained {
+		t.Error("no node gained work under coordination; offloading not visible")
+	}
+}
+
+func TestNIDSOptTimeCompletes(t *testing.T) {
+	res, err := NIDSOptTime(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 50 || res.Seconds <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	if res.Seconds > 120 {
+		t.Fatalf("quick NIDS optimization took %.1fs; solver regression?", res.Seconds)
+	}
+}
+
+func TestNIPSOptTimeCompletes(t *testing.T) {
+	res, err := NIPSOptTime(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 50 || res.Seconds <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+func TestFig10OptimalityGap(t *testing.T) {
+	rows, err := Fig10(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 topologies x 3 capacity fractions x 2 variants.
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.Mean <= 0 || r.Mean > 1+1e-9 || r.Min > r.Mean || r.Max < r.Mean {
+			t.Fatalf("malformed aggregate: %+v", r)
+		}
+		// The paper's bounds (>= 0.7 for rounding+lp, >= 0.92 for the
+		// greedy variant) hold in its regime of >= 5 TCAM slots per node
+		// (100 rules x fraction >= 0.05). At our reduced rule count the
+		// cap fraction 0.05 leaves a single slot per node, where the MILP
+		// integrality gap is genuinely larger; relax the bound there.
+		tight := r.CapFrac >= 0.1
+		switch r.Variant {
+		case nips.VariantRoundLP:
+			want := 0.7
+			if !tight {
+				want = 0.6
+			}
+			if r.Mean < want {
+				t.Errorf("%s cap=%.2f: rounding+lp at %.3f of OptLP, want >= %.2f", r.Topology, r.CapFrac, r.Mean, want)
+			}
+		case nips.VariantRoundGreedyLP:
+			want := 0.92
+			if !tight {
+				want = 0.8
+			}
+			if r.Mean < want {
+				t.Errorf("%s cap=%.2f: greedy variant at %.3f of OptLP, want >= %.2f", r.Topology, r.CapFrac, r.Mean, want)
+			}
+		}
+	}
+}
+
+func TestFig11RegretSmall(t *testing.T) {
+	rows, err := Fig11(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d runs", len(rows))
+	}
+	for _, run := range rows {
+		final := run.Series[len(run.Series)-1].Normalized
+		if math.Abs(final) > 0.15 {
+			t.Errorf("run %d: final normalized regret %.3f, want |r| <= 0.15 (paper)", run.Run, final)
+		}
+	}
+}
+
+func TestRedundancyLoadGrowsWithR(t *testing.T) {
+	rows, err := Redundancy(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[1].MaxLoad <= rows[0].MaxLoad {
+		t.Fatalf("r=2 load %.3g not above r=1 load %.3g", rows[1].MaxLoad, rows[0].MaxLoad)
+	}
+	if rows[1].MaxLoad > 3*rows[0].MaxLoad {
+		t.Fatalf("r=2 load %.3g implausibly above 3x the r=1 load %.3g", rows[1].MaxLoad, rows[0].MaxLoad)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	rows, err := Ablations(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// LP strictly beats greedy on min-max load.
+	if r := byName["lp-vs-greedy"]; r.Variant >= r.Baseline {
+		t.Errorf("LP objective %v not below greedy %v", r.Variant, r.Baseline)
+	}
+	// Fine-grained reduces both footprints.
+	if r := byName["fine-grained-mem"]; r.Variant >= r.Baseline {
+		t.Errorf("fine-grained memory %v not below coarse %v", r.Variant, r.Baseline)
+	}
+	if r := byName["fine-grained-cpu"]; r.Variant >= r.Baseline {
+		t.Errorf("fine-grained CPU %v not below coarse %v", r.Variant, r.Baseline)
+	}
+	// The private key restores drops against the evader.
+	if r := byName["keyed-hash"]; r.Variant <= r.Baseline+0.05 {
+		t.Errorf("private key (%v) did not improve on known key (%v)", r.Variant, r.Baseline)
+	}
+}
+
+func TestAdversaries(t *testing.T) {
+	rows, err := Adversaries(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d adversaries", len(rows))
+	}
+	for _, r := range rows {
+		if r.FPLTotal <= 0 {
+			t.Errorf("%s: deployer dropped nothing", r.Adversary)
+		}
+		if math.IsNaN(r.FinalRegret) || math.IsInf(r.FinalRegret, 0) {
+			t.Errorf("%s: non-finite regret", r.Adversary)
+		}
+	}
+}
+
+func TestFig10Robustness(t *testing.T) {
+	rows, err := Fig10Robustness(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 distributions x 2 variants
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Mean <= 0 || r.Mean > 1+1e-9 {
+			t.Fatalf("malformed row %+v", r)
+		}
+		// The paper's qualitative claim: the greedy variant stays strong
+		// under every distribution.
+		if r.Variant == nips.VariantRoundGreedyLP && r.Mean < 0.9 {
+			t.Errorf("%v: greedy variant at %.3f of OptLP, want >= 0.9", r.Dist, r.Mean)
+		}
+	}
+}
+
+func TestProvisioningConservativeTightensWorstCase(t *testing.T) {
+	rows, err := Provisioning(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var mean, cons ProvisioningRow
+	for _, r := range rows {
+		switch r.Strategy {
+		case "mean":
+			mean = r
+		case "p95-conservative":
+			cons = r
+		}
+	}
+	// The conservative plan trades a higher nominal load for credibility:
+	// a deployment provisioned to its promise is overrun far less often.
+	if cons.PlannedMaxLoad <= mean.PlannedMaxLoad {
+		t.Fatalf("conservative promise %.4f not above mean promise %.4f", cons.PlannedMaxLoad, mean.PlannedMaxLoad)
+	}
+	if cons.ViolationFraction >= mean.ViolationFraction {
+		t.Fatalf("conservative violation fraction %.2f not below mean plan's %.2f",
+			cons.ViolationFraction, mean.ViolationFraction)
+	}
+	// Bursts must actually stress the mean plan (scenario sanity).
+	if mean.ViolationFraction < 0.2 {
+		t.Fatalf("mean plan violated in only %.2f of epochs; scenario inert", mean.ViolationFraction)
+	}
+}

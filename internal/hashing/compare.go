@@ -1,0 +1,146 @@
+package hashing
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"hash/fnv"
+	"math"
+)
+
+// The paper selects the Bob hash "recommended by prior studies" (Molina,
+// Niccolini, Duffield — a comparative experimental study of hash functions
+// for packet sampling). This file provides the comparison harness: the
+// alternative functions that study evaluated (CRC-style and simple
+// arithmetic hashes) behind a common interface, and a uniformity metric so
+// the choice can be revalidated on this repository's own flow keys.
+
+// Func is a packet-sampling hash: bytes -> [0, 1).
+type Func interface {
+	Name() string
+	Unit(data []byte, key uint32) float64
+}
+
+// BobFunc is the lookup2 hash used throughout the system.
+type BobFunc struct{}
+
+// Name implements Func.
+func (BobFunc) Name() string { return "bob" }
+
+// Unit implements Func.
+func (BobFunc) Unit(data []byte, key uint32) float64 {
+	return unit(Bob(data, key))
+}
+
+// FNVFunc is FNV-1a (32-bit) with the key mixed in as a prefix.
+type FNVFunc struct{}
+
+// Name implements Func.
+func (FNVFunc) Name() string { return "fnv1a" }
+
+// Unit implements Func.
+func (FNVFunc) Unit(data []byte, key uint32) float64 {
+	h := fnv.New32a()
+	var kb [4]byte
+	binary.BigEndian.PutUint32(kb[:], key)
+	h.Write(kb[:])
+	h.Write(data)
+	return unit(h.Sum32())
+}
+
+// CRCFunc is CRC-32 (IEEE) with the key mixed in as a prefix. The Molina
+// study found CRC acceptable for sampling but weaker than Bob under
+// structured (low-entropy) keys.
+type CRCFunc struct{}
+
+// Name implements Func.
+func (CRCFunc) Name() string { return "crc32" }
+
+// Unit implements Func.
+func (CRCFunc) Unit(data []byte, key uint32) float64 {
+	var kb [4]byte
+	binary.BigEndian.PutUint32(kb[:], key)
+	c := crc32.Update(0, crc32.IEEETable, kb[:])
+	c = crc32.Update(c, crc32.IEEETable, data)
+	return unit(c)
+}
+
+// ModuloFunc is the strawman the study warns against: sum the bytes and
+// take a modulus. Structured address space collapses it badly.
+type ModuloFunc struct{}
+
+// Name implements Func.
+func (ModuloFunc) Name() string { return "byte-sum-modulo" }
+
+// Unit implements Func.
+func (ModuloFunc) Unit(data []byte, key uint32) float64 {
+	var s uint32 = key
+	for _, b := range data {
+		s += uint32(b)
+	}
+	const modulus = 4096
+	return float64(s%modulus) / modulus
+}
+
+// AllFuncs lists the comparable hash functions, Bob first.
+func AllFuncs() []Func {
+	return []Func{BobFunc{}, FNVFunc{}, CRCFunc{}, ModuloFunc{}}
+}
+
+// ChiSquared measures uniformity of hash outputs over equal-width buckets:
+// the chi-squared statistic of the bucket counts against the uniform
+// expectation (lower is better; for a good hash it concentrates near the
+// bucket count).
+func ChiSquared(values []float64, buckets int) float64 {
+	if buckets <= 0 || len(values) == 0 {
+		return 0
+	}
+	counts := make([]float64, buckets)
+	for _, v := range values {
+		idx := int(v * float64(buckets))
+		if idx >= buckets {
+			idx = buckets - 1
+		}
+		counts[idx]++
+	}
+	expected := float64(len(values)) / float64(buckets)
+	var chi float64
+	for _, c := range counts {
+		d := c - expected
+		chi += d * d / expected
+	}
+	return chi
+}
+
+// CollisionScore estimates pairwise collision pressure at a given
+// granularity g: the fraction of values sharing a cell with another value
+// when the unit interval is cut into g cells. For uniform hashing it
+// approaches 1-exp(-n/g) for n values.
+func CollisionScore(values []float64, g int) float64 {
+	if g <= 0 || len(values) == 0 {
+		return 0
+	}
+	cells := make(map[int]int, len(values))
+	for _, v := range values {
+		idx := int(v * float64(g))
+		if idx >= g {
+			idx = g - 1
+		}
+		cells[idx]++
+	}
+	collided := 0
+	for _, c := range cells {
+		if c > 1 {
+			collided += c
+		}
+	}
+	return float64(collided) / float64(len(values))
+}
+
+// ExpectedCollisionScore is the uniform-hash baseline for CollisionScore.
+func ExpectedCollisionScore(n, g int) float64 {
+	if g <= 0 || n == 0 {
+		return 0
+	}
+	// P(cell of a given value has another) = 1 - (1-1/g)^(n-1).
+	return 1 - math.Pow(1-1/float64(g), float64(n-1))
+}

@@ -1,0 +1,92 @@
+package hashing
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// structuredKeys builds the low-entropy flow keys real networks produce:
+// sequential host addresses behind a few prefixes, a handful of server
+// ports — exactly the regime where weak hashes collapse.
+func structuredKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	ports := []uint16{80, 443, 53, 25}
+	for i := range keys {
+		b := make([]byte, 13)
+		src := 10<<24 | uint32(i%4)<<16 | uint32(i)
+		dst := 10<<24 | uint32((i+1)%4)<<16 | uint32(i/2)
+		binary.BigEndian.PutUint32(b[0:4], src)
+		binary.BigEndian.PutUint32(b[4:8], dst)
+		binary.BigEndian.PutUint16(b[8:10], uint16(1024+i%5000))
+		binary.BigEndian.PutUint16(b[10:12], ports[i%len(ports)])
+		b[12] = 6
+		keys[i] = b
+	}
+	return keys
+}
+
+func TestBobBeatsStrawmanOnStructuredKeys(t *testing.T) {
+	keys := structuredKeys(30000)
+	const buckets = 64
+	chi := map[string]float64{}
+	for _, f := range AllFuncs() {
+		vals := make([]float64, len(keys))
+		for i, k := range keys {
+			vals[i] = f.Unit(k, 7)
+		}
+		chi[f.Name()] = ChiSquared(vals, buckets)
+	}
+	// A uniform hash's chi-squared over 64 buckets concentrates near 63;
+	// allow generous slack.
+	for _, name := range []string{"bob", "fnv1a", "crc32"} {
+		if chi[name] > 3*buckets {
+			t.Errorf("%s chi-squared %v on structured keys, want < %d", name, chi[name], 3*buckets)
+		}
+	}
+	// The byte-sum strawman must be visibly worse than Bob, reproducing
+	// why the sampling literature rejects arithmetic hashes.
+	if chi["byte-sum-modulo"] < 5*chi["bob"] {
+		t.Errorf("strawman chi-squared %v not clearly above bob %v", chi["byte-sum-modulo"], chi["bob"])
+	}
+}
+
+func TestCollisionScoreNearUniformExpectation(t *testing.T) {
+	keys := structuredKeys(20000)
+	g := 1 << 16
+	want := ExpectedCollisionScore(len(keys), g)
+	for _, f := range []Func{BobFunc{}, FNVFunc{}, CRCFunc{}} {
+		vals := make([]float64, len(keys))
+		for i, k := range keys {
+			vals[i] = f.Unit(k, 3)
+		}
+		got := CollisionScore(vals, g)
+		if math.Abs(got-want) > 0.1+0.5*want {
+			t.Errorf("%s collision score %v, uniform expectation %v", f.Name(), got, want)
+		}
+	}
+}
+
+func TestCompareHelpersEdgeCases(t *testing.T) {
+	if ChiSquared(nil, 8) != 0 || ChiSquared([]float64{0.5}, 0) != 0 {
+		t.Fatal("degenerate chi-squared not zero")
+	}
+	if CollisionScore(nil, 8) != 0 || ExpectedCollisionScore(0, 8) != 0 {
+		t.Fatal("degenerate collision scores not zero")
+	}
+	// Values at exactly 1.0 - epsilon must not index out of range.
+	_ = ChiSquared([]float64{0.9999999}, 4)
+	_ = CollisionScore([]float64{0.9999999}, 4)
+}
+
+func BenchmarkHashFuncs(b *testing.B) {
+	keys := structuredKeys(1024)
+	for _, f := range AllFuncs() {
+		b.Run(f.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f.Unit(keys[i%len(keys)], 7)
+			}
+		})
+	}
+}

@@ -1,0 +1,232 @@
+// Package hashing implements the packet-selection hash machinery the paper
+// builds its sampling manifests on: the Bob Jenkins ("Bob") hash function
+// recommended for packet sampling by Molina et al. (the paper's [26]),
+// canonical unidirectional and bidirectional 5-tuple keys, a keyed-hash
+// mode to resist adversaries crafting traffic that evades sampling checks
+// (Section 3.2's first assumption), and half-open [lo, hi) hash ranges used
+// by the manifests of Figure 2.
+package hashing
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FiveTuple identifies a unidirectional flow: a sequence of packets with
+// the same addresses, ports, and protocol. IPs are IPv4 in host order.
+type FiveTuple struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Reverse returns the tuple for the opposite direction.
+func (ft FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{
+		SrcIP: ft.DstIP, DstIP: ft.SrcIP,
+		SrcPort: ft.DstPort, DstPort: ft.SrcPort,
+		Proto: ft.Proto,
+	}
+}
+
+// String renders the tuple as "a.b.c.d:p -> a.b.c.d:p/proto".
+func (ft FiveTuple) String() string {
+	ip := func(v uint32) string {
+		return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return fmt.Sprintf("%s:%d -> %s:%d/%d", ip(ft.SrcIP), ft.SrcPort, ip(ft.DstIP), ft.DstPort, ft.Proto)
+}
+
+// canonical orders the endpoints so both directions of a session yield the
+// same byte encoding (the paper's "bidirectional 5-tuple such that the
+// src/dst IP are consistent in both directions").
+func (ft FiveTuple) canonical() FiveTuple {
+	if ft.SrcIP > ft.DstIP || (ft.SrcIP == ft.DstIP && ft.SrcPort > ft.DstPort) {
+		return ft.Reverse()
+	}
+	return ft
+}
+
+// encode writes the 13-byte wire form of the tuple.
+func (ft FiveTuple) encode(b *[13]byte) {
+	binary.BigEndian.PutUint32(b[0:4], ft.SrcIP)
+	binary.BigEndian.PutUint32(b[4:8], ft.DstIP)
+	binary.BigEndian.PutUint16(b[8:10], ft.SrcPort)
+	binary.BigEndian.PutUint16(b[10:12], ft.DstPort)
+	b[12] = ft.Proto
+}
+
+// Bob computes Bob Jenkins' lookup2 hash over data with the given seed.
+// This is the hash function the packet-sampling literature the paper cites
+// found to have the best uniformity/cost trade-off for flow keys.
+func Bob(data []byte, seed uint32) uint32 {
+	var a, b, c uint32 = 0x9e3779b9, 0x9e3779b9, seed
+	i := 0
+	for ; i+12 <= len(data); i += 12 {
+		a += binary.LittleEndian.Uint32(data[i : i+4])
+		b += binary.LittleEndian.Uint32(data[i+4 : i+8])
+		c += binary.LittleEndian.Uint32(data[i+8 : i+12])
+		a, b, c = mix(a, b, c)
+	}
+	c += uint32(len(data))
+	rest := data[i:]
+	switch len(rest) {
+	case 11:
+		c += uint32(rest[10]) << 24
+		fallthrough
+	case 10:
+		c += uint32(rest[9]) << 16
+		fallthrough
+	case 9:
+		c += uint32(rest[8]) << 8
+		fallthrough
+	case 8:
+		b += uint32(rest[7]) << 24
+		fallthrough
+	case 7:
+		b += uint32(rest[6]) << 16
+		fallthrough
+	case 6:
+		b += uint32(rest[5]) << 8
+		fallthrough
+	case 5:
+		b += uint32(rest[4])
+		fallthrough
+	case 4:
+		a += uint32(rest[3]) << 24
+		fallthrough
+	case 3:
+		a += uint32(rest[2]) << 16
+		fallthrough
+	case 2:
+		a += uint32(rest[1]) << 8
+		fallthrough
+	case 1:
+		a += uint32(rest[0])
+	}
+	_, _, c = mix(a, b, c)
+	return c
+}
+
+// mix is lookup2's reversible 3-word mixer.
+func mix(a, b, c uint32) (uint32, uint32, uint32) {
+	a -= b
+	a -= c
+	a ^= c >> 13
+	b -= c
+	b -= a
+	b ^= a << 8
+	c -= a
+	c -= b
+	c ^= b >> 13
+	a -= b
+	a -= c
+	a ^= c >> 12
+	b -= c
+	b -= a
+	b ^= a << 16
+	c -= a
+	c -= b
+	c ^= b >> 5
+	a -= b
+	a -= c
+	a ^= c >> 3
+	b -= c
+	b -= a
+	b ^= a << 10
+	c -= a
+	c -= b
+	c ^= b >> 15
+	return a, b, c
+}
+
+// Hasher maps flow keys to the unit interval. The Key seeds the hash so
+// operators can use a private keyed hash to prevent adversaries from
+// predicting which node samples which flows.
+type Hasher struct {
+	Key uint32
+}
+
+// unit converts a 32-bit hash to [0, 1).
+func unit(h uint32) float64 { return float64(h) / 4294967296.0 }
+
+// Flow hashes the unidirectional 5-tuple to [0, 1). Use for per-flow
+// analyses where direction matters.
+func (h Hasher) Flow(ft FiveTuple) float64 {
+	var b [13]byte
+	ft.encode(&b)
+	return unit(Bob(b[:], h.Key))
+}
+
+// Session hashes the bidirectional (canonical) 5-tuple to [0, 1): both
+// directions of a connection land at the same point, so session-based
+// analyses see both halves at the same node.
+func (h Hasher) Session(ft FiveTuple) float64 {
+	var b [13]byte
+	ft.canonical().encode(&b)
+	return unit(Bob(b[:], h.Key))
+}
+
+// Source hashes only the source address to [0, 1). Per-source analyses
+// (e.g. scan detection) use this so all flows from one host map together.
+func (h Hasher) Source(ft FiveTuple) float64 {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], ft.SrcIP)
+	return unit(Bob(b[:], h.Key))
+}
+
+// Destination hashes only the destination address to [0, 1). Per-destination
+// analyses (e.g. SYN-flood victim counting) use this.
+func (h Hasher) Destination(ft FiveTuple) float64 {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], ft.DstIP)
+	return unit(Bob(b[:], h.Key))
+}
+
+// Range is a half-open interval [Lo, Hi) within the unit hash space.
+// Manifests assign each node a set of ranges per coordination unit; the
+// half-open convention makes adjacent ranges tile without double coverage.
+type Range struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x falls inside the range.
+func (r Range) Contains(x float64) bool { return x >= r.Lo && x < r.Hi }
+
+// Width returns the measure of the range (0 for empty or inverted ranges).
+func (r Range) Width() float64 {
+	if r.Hi <= r.Lo {
+		return 0
+	}
+	return r.Hi - r.Lo
+}
+
+// IsEmpty reports whether the range covers nothing.
+func (r Range) IsEmpty() bool { return r.Hi <= r.Lo }
+
+// String renders the range as "[lo, hi)".
+func (r Range) String() string { return fmt.Sprintf("[%.6f, %.6f)", r.Lo, r.Hi) }
+
+// RangeSet is a collection of disjoint ranges assigned to one node for one
+// coordination unit. With the paper's Section 2.5 redundancy extension a
+// node's allocation can wrap around 1.0, producing two ranges.
+type RangeSet []Range
+
+// Contains reports whether x falls in any member range.
+func (rs RangeSet) Contains(x float64) bool {
+	for _, r := range rs {
+		if r.Contains(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// Width sums the member widths.
+func (rs RangeSet) Width() float64 {
+	var w float64
+	for _, r := range rs {
+		w += r.Width()
+	}
+	return w
+}

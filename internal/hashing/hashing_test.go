@@ -1,0 +1,210 @@
+package hashing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randTuple(rng *rand.Rand) FiveTuple {
+	return FiveTuple{
+		SrcIP:   rng.Uint32(),
+		DstIP:   rng.Uint32(),
+		SrcPort: uint16(rng.Intn(65536)),
+		DstPort: uint16(rng.Intn(65536)),
+		Proto:   uint8(rng.Intn(256)),
+	}
+}
+
+func TestBobKnownProperties(t *testing.T) {
+	// Deterministic for fixed input and seed.
+	d := []byte("hello, network-wide nids")
+	if Bob(d, 1) != Bob(d, 1) {
+		t.Fatal("Bob hash is not deterministic")
+	}
+	// Seed changes the output.
+	if Bob(d, 1) == Bob(d, 2) {
+		t.Fatal("seed has no effect")
+	}
+	// Input changes the output.
+	if Bob([]byte("a"), 0) == Bob([]byte("b"), 0) {
+		t.Fatal("single-byte collision on trivially different inputs")
+	}
+	// All tail lengths are exercised without panicking and differ from one
+	// another with overwhelming probability.
+	seen := map[uint32]bool{}
+	buf := make([]byte, 0, 16)
+	for n := 0; n <= 16; n++ {
+		h := Bob(buf[:n], 7)
+		if seen[h] {
+			t.Fatalf("collision at length %d", n)
+		}
+		seen[h] = true
+		buf = append(buf, byte(n+1))
+	}
+}
+
+func TestBobUniformity(t *testing.T) {
+	// Chi-squared-ish sanity: hash 40000 random tuples into 16 buckets;
+	// each bucket should be within 20% of uniform.
+	rng := rand.New(rand.NewSource(42))
+	h := Hasher{Key: 99}
+	const n, buckets = 40000, 16
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		v := h.Flow(randTuple(rng))
+		if v < 0 || v >= 1 {
+			t.Fatalf("hash out of unit interval: %v", v)
+		}
+		counts[int(v*buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 0.2*want {
+			t.Fatalf("bucket %d has %d, want ~%v", b, c, want)
+		}
+	}
+}
+
+func TestSessionHashDirectionInvariant(t *testing.T) {
+	h := Hasher{Key: 7}
+	f := func(a, b uint32, p, q uint16, proto uint8) bool {
+		ft := FiveTuple{SrcIP: a, DstIP: b, SrcPort: p, DstPort: q, Proto: proto}
+		return h.Session(ft) == h.Session(ft.Reverse())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowHashDirectionSensitive(t *testing.T) {
+	h := Hasher{Key: 7}
+	rng := rand.New(rand.NewSource(3))
+	differs := 0
+	for i := 0; i < 200; i++ {
+		ft := randTuple(rng)
+		if ft.SrcIP == ft.DstIP && ft.SrcPort == ft.DstPort {
+			continue
+		}
+		if h.Flow(ft) != h.Flow(ft.Reverse()) {
+			differs++
+		}
+	}
+	if differs < 190 {
+		t.Fatalf("flow hash direction-insensitive too often: %d/200 differ", differs)
+	}
+}
+
+func TestSourceHashGroupsBySource(t *testing.T) {
+	h := Hasher{Key: 11}
+	base := FiveTuple{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 1234, DstPort: 80, Proto: 6}
+	v := h.Source(base)
+	for port := uint16(1); port < 100; port++ {
+		ft := base
+		ft.DstPort = port
+		ft.DstIP = 0x0a0000ff + uint32(port)
+		if h.Source(ft) != v {
+			t.Fatal("source hash depends on non-source fields")
+		}
+	}
+	other := base
+	other.SrcIP = 0x0a000099
+	if h.Source(other) == v {
+		t.Fatal("distinct sources collide (astronomically unlikely)")
+	}
+}
+
+func TestDestinationHashGroupsByDestination(t *testing.T) {
+	h := Hasher{Key: 11}
+	base := FiveTuple{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 1234, DstPort: 80, Proto: 6}
+	v := h.Destination(base)
+	ft := base
+	ft.SrcIP, ft.SrcPort = 0x0b000001, 999
+	if h.Destination(ft) != v {
+		t.Fatal("destination hash depends on non-destination fields")
+	}
+}
+
+func TestKeyedHashChangesMapping(t *testing.T) {
+	// A private key must remap flows: the same tuple lands elsewhere.
+	ft := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	a := Hasher{Key: 1}.Flow(ft)
+	b := Hasher{Key: 2}.Flow(ft)
+	if a == b {
+		t.Fatal("key has no effect on flow hash")
+	}
+}
+
+func TestRangeSemantics(t *testing.T) {
+	r := Range{0.25, 0.5}
+	cases := []struct {
+		x    float64
+		want bool
+	}{
+		{0.24999, false}, {0.25, true}, {0.3, true}, {0.49999, true}, {0.5, false},
+	}
+	for _, c := range cases {
+		if r.Contains(c.x) != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.x, r.Contains(c.x), c.want)
+		}
+	}
+	if w := r.Width(); w != 0.25 {
+		t.Fatalf("Width = %v, want 0.25", w)
+	}
+	if !(Range{0.5, 0.5}).IsEmpty() || !(Range{0.6, 0.5}).IsEmpty() {
+		t.Fatal("empty/inverted ranges not detected")
+	}
+	if (Range{0.6, 0.5}).Width() != 0 {
+		t.Fatal("inverted range has nonzero width")
+	}
+}
+
+func TestRangeSet(t *testing.T) {
+	rs := RangeSet{{0.9, 1.0}, {0.0, 0.1}} // wraparound allocation
+	if !rs.Contains(0.95) || !rs.Contains(0.05) || rs.Contains(0.5) {
+		t.Fatal("RangeSet membership wrong")
+	}
+	if math.Abs(rs.Width()-0.2) > 1e-12 {
+		t.Fatalf("Width = %v, want 0.2", rs.Width())
+	}
+}
+
+func TestHalfOpenRangesTileWithoutOverlap(t *testing.T) {
+	// Adjacent ranges [0,a) [a,b) [b,1) must cover each point exactly once.
+	cuts := []float64{0, 0.31, 0.64, 1}
+	var ranges []Range
+	for i := 0; i+1 < len(cuts); i++ {
+		ranges = append(ranges, Range{cuts[i], cuts[i+1]})
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64()
+		hits := 0
+		for _, r := range ranges {
+			if r.Contains(x) {
+				hits++
+			}
+		}
+		if hits != 1 {
+			t.Fatalf("point %v covered %d times", x, hits)
+		}
+	}
+}
+
+func TestFiveTupleString(t *testing.T) {
+	ft := FiveTuple{SrcIP: 0x0a000001, DstIP: 0xc0a80101, SrcPort: 1234, DstPort: 80, Proto: 6}
+	want := "10.0.0.1:1234 -> 192.168.1.1:80/6"
+	if got := ft.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func BenchmarkSessionHash(b *testing.B) {
+	h := Hasher{Key: 1}
+	ft := FiveTuple{SrcIP: 0x0a000001, DstIP: 0xc0a80101, SrcPort: 1234, DstPort: 80, Proto: 6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Session(ft)
+	}
+}

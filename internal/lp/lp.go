@@ -1,0 +1,224 @@
+// Package lp implements a self-contained linear-programming solver.
+//
+// The paper this repository reproduces ("Network-Wide Deployment of
+// Intrusion Detection and Prevention Systems", CoNEXT 2010) relies on CPLEX
+// to solve its NIDS load-balancing LP (Section 2.2) and the LP relaxation of
+// its NIPS mixed-integer program (Section 3.2). Go has no mainstream LP
+// ecosystem, so this package provides the substrate: a two-phase primal
+// simplex method over a dense tableau with native support for
+// bounded variables (0 <= x <= u, u possibly +Inf, after an internal shift
+// of general finite lower bounds).
+//
+// The solver is exact up to floating-point tolerances and is designed for
+// the moderate problem sizes produced by the deployment planners (hundreds
+// to a few thousand rows). It detects infeasibility and unboundedness, uses
+// Dantzig pricing with an automatic switch to Bland's rule under prolonged
+// degeneracy to guarantee termination, and applies a Harris-style tie-break
+// in the ratio test that prefers numerically large pivots.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense selects the optimization direction of a Problem.
+type Sense int
+
+const (
+	// Minimize selects minimization of the objective.
+	Minimize Sense = iota
+	// Maximize selects maximization of the objective.
+	Maximize
+)
+
+// Op is the relational operator of a linear constraint.
+type Op int
+
+const (
+	// LE constrains the linear form to be <= the right-hand side.
+	LE Op = iota
+	// GE constrains the linear form to be >= the right-hand side.
+	GE
+	// EQ constrains the linear form to equal the right-hand side.
+	EQ
+)
+
+// String returns the conventional symbol for the operator.
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Var identifies a decision variable within a Problem. The zero value is a
+// valid variable (the first one added).
+type Var int
+
+// Term is a single coefficient/variable product in a linear expression.
+type Term struct {
+	Var  Var
+	Coef float64
+}
+
+// Status describes the outcome of a Solve call.
+type Status int
+
+const (
+	// StatusOptimal means an optimal basic feasible solution was found.
+	StatusOptimal Status = iota
+	// StatusInfeasible means the constraint system has no feasible point.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded over the feasible
+	// region in the direction of optimization.
+	StatusUnbounded
+	// StatusIterLimit means the iteration budget was exhausted before the
+	// solver could prove optimality.
+	StatusIterLimit
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// ErrNotSolved is returned by accessors that require a prior successful
+// Solve.
+var ErrNotSolved = errors.New("lp: problem has not been solved to optimality")
+
+// Inf is a convenience for an unbounded-above variable limit.
+func Inf() float64 { return math.Inf(1) }
+
+type variable struct {
+	name string
+	cost float64
+	lb   float64 // finite
+	ub   float64 // may be +Inf; ub >= lb
+}
+
+type constraint struct {
+	name  string
+	terms []Term
+	op    Op
+	rhs   float64
+}
+
+// Problem is a linear program under construction. Build it with AddVar and
+// AddConstraint, then call Solve. A Problem is not safe for concurrent use.
+type Problem struct {
+	sense Sense
+	vars  []variable
+	cons  []constraint
+}
+
+// New returns an empty problem with the given optimization sense.
+func New(sense Sense) *Problem {
+	return &Problem{sense: sense}
+}
+
+// NumVars reports the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.vars) }
+
+// NumConstraints reports the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddVar adds a decision variable with the given objective cost and bounds
+// lb <= x <= ub. lb must be finite; ub may be +Inf. It returns the variable
+// handle used in constraint terms.
+func (p *Problem) AddVar(name string, cost, lb, ub float64) Var {
+	if math.IsInf(lb, 0) || math.IsNaN(lb) {
+		panic(fmt.Sprintf("lp: variable %q lower bound must be finite, got %v", name, lb))
+	}
+	if math.IsNaN(ub) || ub < lb {
+		panic(fmt.Sprintf("lp: variable %q has invalid bounds [%v, %v]", name, lb, ub))
+	}
+	p.vars = append(p.vars, variable{name: name, cost: cost, lb: lb, ub: ub})
+	return Var(len(p.vars) - 1)
+}
+
+// AddConstraint adds the linear constraint sum(terms) op rhs and returns its
+// row index. Terms referring to the same variable are summed. Terms with
+// out-of-range variables panic: they indicate a programming error in the
+// model builder, not a data condition.
+func (p *Problem) AddConstraint(name string, terms []Term, op Op, rhs float64) int {
+	for _, t := range terms {
+		if int(t.Var) < 0 || int(t.Var) >= len(p.vars) {
+			panic(fmt.Sprintf("lp: constraint %q references unknown variable %d", name, t.Var))
+		}
+	}
+	c := constraint{name: name, terms: append([]Term(nil), terms...), op: op, rhs: rhs}
+	p.cons = append(p.cons, c)
+	return len(p.cons) - 1
+}
+
+// Options tunes the solver. The zero value selects reasonable defaults.
+type Options struct {
+	// MaxIters bounds the total number of simplex iterations across both
+	// phases. Zero selects a default proportional to problem size.
+	MaxIters int
+	// Tol is the feasibility/optimality tolerance. Zero selects 1e-9 for
+	// feasibility checks and 1e-7 for reduced-cost optimality.
+	Tol float64
+	// Presolve enables fixed-variable substitution, singleton-row bound
+	// tightening, and empty-row elimination before the simplex. Solutions
+	// found under presolve carry no Duals.
+	Presolve bool
+}
+
+// Solution is the result of a Solve call.
+type Solution struct {
+	Status    Status
+	Objective float64   // objective value in the problem's original sense
+	X         []float64 // one value per variable, in AddVar order
+	// Duals holds one shadow price per constraint (AddConstraint order):
+	// the rate of change of the optimal objective per unit increase of
+	// that constraint's right-hand side, in the problem's original sense.
+	// Populated only at StatusOptimal. For a binding capacity constraint
+	// in a maximization this is the marginal value of extra capacity —
+	// the quantity the what-if provisioning analysis of the paper's
+	// Section 5 needs.
+	Duals []float64
+	Iters int // simplex iterations used (both phases)
+}
+
+// Dual returns the shadow price of constraint row (as returned by
+// AddConstraint).
+func (s *Solution) Dual(row int) float64 { return s.Duals[row] }
+
+// Value returns the optimal value of v.
+func (s *Solution) Value(v Var) float64 { return s.X[v] }
+
+// Solve optimizes the problem with default options.
+func (p *Problem) Solve() (*Solution, error) { return p.SolveOpts(Options{}) }
+
+// SolveOpts optimizes the problem. An error is returned only for structural
+// problems (no variables); infeasibility and unboundedness are reported via
+// Solution.Status with a nil error so callers can distinguish model outcomes
+// from programming errors.
+func (p *Problem) SolveOpts(opts Options) (*Solution, error) {
+	if len(p.vars) == 0 {
+		return nil, errors.New("lp: problem has no variables")
+	}
+	if opts.Presolve {
+		return solveWithPresolve(p, opts)
+	}
+	s := newSimplex(p, opts)
+	return s.solve()
+}

@@ -1,0 +1,70 @@
+package nips
+
+import (
+	"math/rand"
+)
+
+// SimResult compares a deployment's predicted objective against a
+// flow-level data-plane simulation of hash-based sampling and dropping.
+type SimResult struct {
+	// Predicted is the Eq. (7) objective of the deployment, rescaled to
+	// the simulated flow population.
+	Predicted float64
+	// Measured is the footprint reduction the simulated data plane
+	// actually achieved.
+	Measured float64
+	// TotalFootprint is the footprint all simulated unwanted flows would
+	// have consumed with no NIPS at all.
+	TotalFootprint float64
+	// Flows is the number of simulated unwanted flows.
+	Flows int
+}
+
+// SimulateDrops exercises a deployment in a flow-level data plane: for each
+// path and rule, unwanted flows are drawn in proportion to T_ik * M_ik,
+// each flow is hashed to a point in [0, 1), and the nodes along the path
+// apply their assigned non-overlapping hash ranges (the same Figure 2
+// translation the NIDS uses); a flow is dropped by the first node whose
+// range contains it, and the measured benefit is the downstream distance it
+// no longer travels. The result validates that the optimizer's objective is
+// exactly what the data plane realizes.
+//
+// flowScale controls fidelity: one simulated flow represents flowScale real
+// flows (smaller = more flows = tighter agreement).
+func SimulateDrops(inst *Instance, dep *Deployment, flowScale float64, rng *rand.Rand) SimResult {
+	if flowScale <= 0 {
+		flowScale = 1000
+	}
+	var res SimResult
+	for i := range dep.D {
+		for k, path := range inst.Paths {
+			unwanted := inst.Items[k] * inst.M[i][k] / flowScale
+			nFlows := int(unwanted)
+			if rng.Float64() < unwanted-float64(nFlows) {
+				nFlows++
+			}
+			if nFlows == 0 {
+				continue
+			}
+			// Per-node half-open ranges, cumulative along the path: node at
+			// position pos owns [cum, cum+d).
+			bounds := make([]float64, len(path)+1)
+			for pos := range path {
+				bounds[pos+1] = bounds[pos] + dep.D[i][k][pos]
+			}
+			res.Flows += nFlows
+			res.TotalFootprint += float64(nFlows) * flowScale * inst.Dist[k][0]
+			for f := 0; f < nFlows; f++ {
+				u := rng.Float64()
+				for pos := range path {
+					if u >= bounds[pos] && u < bounds[pos+1] {
+						res.Measured += flowScale * inst.Dist[k][pos]
+						break
+					}
+				}
+			}
+		}
+	}
+	res.Predicted = Objective(inst, dep)
+	return res
+}

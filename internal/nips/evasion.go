@@ -1,0 +1,118 @@
+package nips
+
+import (
+	"math/rand"
+
+	"nwdeploy/internal/hashing"
+)
+
+// Section 3.2's first modeling assumption is that "attackers cannot craft
+// traffic that can avoid the sampling checks ... administrators can use
+// private keyed hash functions to prevent adversaries from evading the
+// hash checks". SimulateEvasion makes that concrete: an adversary who
+// knows (or guesses) the sampling key crafts flow tuples whose hash lands
+// outside every node's assigned range; the simulation measures how much
+// unwanted traffic survives with and without the defender's key being
+// private.
+
+// EvasionResult reports the adversary's success against a deployment.
+type EvasionResult struct {
+	// Flows is the number of crafted unwanted flows.
+	Flows int
+	// DroppedFraction is the fraction of all crafted flows the deployment
+	// still dropped.
+	DroppedFraction float64
+	// EvadableFlows counts flows crafted for cells whose total sampling is
+	// below 1 — the only cells an adversary can evade at all; a cell
+	// sampled at coverage 1 drops everything no matter what the adversary
+	// hashes to.
+	EvadableFlows int
+	// DroppedEvadable is the drop fraction over EvadableFlows only: the
+	// honest measure of evasion success.
+	DroppedEvadable float64
+	// Candidates is the total tuples the adversary tried while crafting.
+	Candidates int
+}
+
+// SimulateEvasion crafts unwanted flows for every (rule, path) cell with
+// positive sampling and measures the deployment's drop rate when the
+// defender samples with defenderKey while the adversary optimizes against
+// attackerKey. With attackerKey == defenderKey the adversary evades almost
+// everything; with a private (different) defender key the crafted flows
+// are hashed afresh and the drop rate returns to the assigned coverage.
+//
+// tries bounds the adversary's per-flow search effort; flowsPerCell flows
+// are crafted per (rule, path) cell that has positive total sampling.
+func SimulateEvasion(inst *Instance, dep *Deployment, attackerKey, defenderKey uint32, flowsPerCell, tries int, rng *rand.Rand) EvasionResult {
+	if flowsPerCell <= 0 {
+		flowsPerCell = 20
+	}
+	if tries <= 0 {
+		tries = 32
+	}
+	attacker := hashing.Hasher{Key: attackerKey}
+	defender := hashing.Hasher{Key: defenderKey}
+
+	var res EvasionResult
+	var dropped, droppedEvadable float64
+	for i := range dep.D {
+		for k, path := range inst.Paths {
+			// Cumulative per-node bounds: node at position pos owns
+			// [bounds[pos], bounds[pos+1]).
+			total := 0.0
+			bounds := make([]float64, len(path)+1)
+			for pos := range path {
+				total += dep.D[i][k][pos]
+				bounds[pos+1] = total
+			}
+			if total <= 1e-12 {
+				continue // nothing sampled: trivially evadable, skip
+			}
+			evadable := total < 1-1e-9
+			for f := 0; f < flowsPerCell; f++ {
+				// The adversary varies the ephemeral source port (and, if
+				// needed, a low source-address bit it controls) hunting
+				// for a tuple whose hash under ITS key falls in the
+				// unsampled tail [total, 1).
+				var ft hashing.FiveTuple
+				found := false
+				for attempt := 0; attempt < tries; attempt++ {
+					res.Candidates++
+					ft = hashing.FiveTuple{
+						SrcIP:   0x0a000000 | uint32(rng.Intn(1<<16)),
+						DstIP:   0x0b000000 | uint32(rng.Intn(1<<16)),
+						SrcPort: uint16(1024 + rng.Intn(64000)),
+						DstPort: 80,
+						Proto:   6,
+					}
+					if attacker.Flow(ft) >= total {
+						found = true
+						break
+					}
+				}
+				_ = found // even without a winning tuple the last one is sent
+				res.Flows++
+				if evadable {
+					res.EvadableFlows++
+				}
+				h := defender.Flow(ft)
+				for pos := range path {
+					if h >= bounds[pos] && h < bounds[pos+1] {
+						dropped++
+						if evadable {
+							droppedEvadable++
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+	if res.Flows > 0 {
+		res.DroppedFraction = dropped / float64(res.Flows)
+	}
+	if res.EvadableFlows > 0 {
+		res.DroppedEvadable = droppedEvadable / float64(res.EvadableFlows)
+	}
+	return res
+}

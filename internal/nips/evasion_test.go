@@ -1,0 +1,73 @@
+package nips
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func evasionDeployment(t *testing.T) (*Instance, *Deployment) {
+	t.Helper()
+	inst := smallInstance(t, 6, 10, 0.3)
+	dep, _, err := Solve(inst, VariantRoundGreedyLP, 3, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, dep
+}
+
+func TestEvasionWithKnownKeySucceeds(t *testing.T) {
+	inst, dep := evasionDeployment(t)
+	// Adversary knows the defender's key: crafted flows land in the
+	// unsampled tail and almost nothing is dropped.
+	res := SimulateEvasion(inst, dep, 1234, 1234, 30, 64, rand.New(rand.NewSource(1)))
+	if res.Flows == 0 || res.EvadableFlows == 0 {
+		t.Fatalf("no evadable flows crafted: %+v", res)
+	}
+	// Cells sampled at full coverage cannot be evaded regardless of the
+	// key; success is measured over the evadable cells.
+	if res.DroppedEvadable > 0.15 {
+		t.Fatalf("known-key evasion dropped %.2f of evadable flows; evasion should mostly succeed", res.DroppedEvadable)
+	}
+}
+
+func TestPrivateKeyDefeatsEvasion(t *testing.T) {
+	inst, dep := evasionDeployment(t)
+	rngA := rand.New(rand.NewSource(1))
+	rngB := rand.New(rand.NewSource(1))
+	informed := SimulateEvasion(inst, dep, 1234, 1234, 30, 64, rngA)
+	blind := SimulateEvasion(inst, dep, 1234, 99999, 30, 64, rngB)
+	// With a private defender key the crafted tuples hash afresh: the drop
+	// rate must rebound far above the informed-adversary rate.
+	if blind.DroppedFraction < 3*informed.DroppedFraction && blind.DroppedFraction < 0.2 {
+		t.Fatalf("private key did not restore drops: informed %.3f, blind %.3f",
+			informed.DroppedFraction, blind.DroppedFraction)
+	}
+	// And the blind rate should be in the ballpark of the mean assigned
+	// coverage across crafted cells.
+	var coverSum float64
+	cells := 0
+	for i := range dep.D {
+		for k := range inst.Paths {
+			total := 0.0
+			for pos := range dep.D[i][k] {
+				total += dep.D[i][k][pos]
+			}
+			if total > 1e-12 {
+				coverSum += total
+				cells++
+			}
+		}
+	}
+	meanCover := coverSum / float64(cells)
+	if blind.DroppedFraction < meanCover-0.15 || blind.DroppedFraction > meanCover+0.15 {
+		t.Fatalf("blind drop rate %.3f far from mean coverage %.3f", blind.DroppedFraction, meanCover)
+	}
+}
+
+func TestEvasionParameterDefaults(t *testing.T) {
+	inst, dep := evasionDeployment(t)
+	res := SimulateEvasion(inst, dep, 1, 2, 0, 0, rand.New(rand.NewSource(3)))
+	if res.Flows == 0 || res.Candidates < res.Flows {
+		t.Fatalf("defaults produced implausible result: %+v", res)
+	}
+}

@@ -1,0 +1,214 @@
+package nips
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"nwdeploy/internal/lp"
+)
+
+// ResolveLP replaces a deployment's d values by the optimal ones for its
+// fixed integral enablement: "a practical alternative is to solve the LP
+// represented by Eqs (9)–(14) after setting the values for e_ij obtained in
+// line 5 to be constants". With e fixed, the coupling rows disappear (a
+// disabled e forces d = 0; an enabled one leaves d in [0,1]), so this LP is
+// small and fast.
+func ResolveLP(inst *Instance, dep *Deployment) error {
+	p := lp.New(lp.Maximize)
+	n := inst.Topo.N()
+
+	type dref struct{ i, k, pos int }
+	var refs []dref
+	var vars []lp.Var
+	memTerms := make([][]lp.Term, n)
+	cpuTerms := make([][]lp.Term, n)
+	for i := range dep.E {
+		for k, path := range inst.Paths {
+			cover := make([]lp.Term, 0, len(path))
+			for pos, j := range path {
+				if !dep.E[i][j] {
+					continue
+				}
+				v := p.AddVar("d", inst.objCoef(i, k, pos), 0, 1)
+				refs = append(refs, dref{i, k, pos})
+				vars = append(vars, v)
+				cover = append(cover, lp.Term{Var: v, Coef: 1})
+				memTerms[j] = append(memTerms[j], lp.Term{Var: v, Coef: inst.Items[k] * inst.Rules[i].MemPerItem})
+				cpuTerms[j] = append(cpuTerms[j], lp.Term{Var: v, Coef: inst.Pkts[k] * inst.Rules[i].CPUPerPkt})
+			}
+			if len(cover) > 1 {
+				p.AddConstraint("cover", cover, lp.LE, 1)
+			}
+		}
+	}
+	if len(vars) == 0 {
+		// Nothing enabled anywhere: the deployment drops nothing.
+		for i := range dep.D {
+			for k := range dep.D[i] {
+				for pos := range dep.D[i][k] {
+					dep.D[i][k][pos] = 0
+				}
+			}
+		}
+		dep.Objective = 0
+		return nil
+	}
+	for j := 0; j < n; j++ {
+		if len(memTerms[j]) > 0 {
+			p.AddConstraint("mem", memTerms[j], lp.LE, inst.MemCap[j])
+		}
+		if len(cpuTerms[j]) > 0 {
+			p.AddConstraint("cpu", cpuTerms[j], lp.LE, inst.CPUCap[j])
+		}
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return fmt.Errorf("nips: resolve LP: %w", err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		return fmt.Errorf("nips: resolve LP %v", sol.Status)
+	}
+	for i := range dep.D {
+		for k := range dep.D[i] {
+			for pos := range dep.D[i][k] {
+				dep.D[i][k][pos] = 0
+			}
+		}
+	}
+	for x, ref := range refs {
+		dep.D[ref.i][ref.k][ref.pos] = clamp01(sol.Value(vars[x]))
+	}
+	dep.Objective = Objective(inst, dep)
+	return nil
+}
+
+// GreedyFill sets additional e_ij to 1 while no TCAM constraint is
+// violated, in descending order of each (rule, node) pair's potential
+// objective gain: "we can greedily try to set e_ij s to 1 until no more can
+// be set to 1 without violating Eq (8)". Call ResolveLP afterwards to pick
+// the optimal d for the expanded enablement.
+func GreedyFill(inst *Instance, dep *Deployment) {
+	n := inst.Topo.N()
+	used := make([]float64, n)
+	for i := range dep.E {
+		for j := 0; j < n; j++ {
+			if dep.E[i][j] {
+				used[j] += inst.Rules[i].CamReq
+			}
+		}
+	}
+	// Potential gain of enabling rule i at node j: the unclaimed objective
+	// weight of paths through j (upper bound, ignoring capacity).
+	type cand struct {
+		i, j int
+		gain float64
+	}
+	var cands []cand
+	for i := range dep.E {
+		for j := 0; j < n; j++ {
+			if dep.E[i][j] {
+				continue
+			}
+			var g float64
+			for k, path := range inst.Paths {
+				for pos, node := range path {
+					if node == j {
+						g += inst.objCoef(i, k, pos)
+					}
+				}
+			}
+			if g > 0 {
+				cands = append(cands, cand{i, j, g})
+			}
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].gain != cands[b].gain {
+			return cands[a].gain > cands[b].gain
+		}
+		if cands[a].i != cands[b].i {
+			return cands[a].i < cands[b].i
+		}
+		return cands[a].j < cands[b].j
+	})
+	for _, c := range cands {
+		if used[c.j]+inst.Rules[c.i].CamReq <= inst.CamCap[c.j]+1e-9 {
+			dep.E[c.i][c.j] = true
+			used[c.j] += inst.Rules[c.i].CamReq
+		}
+	}
+}
+
+// Variant names one of the algorithm variants of the paper's Figure 10.
+type Variant int
+
+const (
+	// VariantBasic is the plain Figure 9 rounding with conservative
+	// rescaling.
+	VariantBasic Variant = iota
+	// VariantRoundLP is rounding followed by an LP re-solve of the d
+	// values (Figure 10(a)).
+	VariantRoundLP
+	// VariantRoundGreedyLP adds the greedy enablement fill before the LP
+	// re-solve (Figure 10(b)).
+	VariantRoundGreedyLP
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantBasic:
+		return "rounding"
+	case VariantRoundLP:
+		return "rounding+lp"
+	case VariantRoundGreedyLP:
+		return "rounding+greedy+lp"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Solve runs the requested variant: it solves the relaxation once, performs
+// iters independent rounding trials, improves each per the variant, and
+// returns the best deployment together with the LP upper bound. This is the
+// paper's evaluation procedure ("we run 10 iterations of the
+// rounding-based algorithms and take the best solution across these 10
+// runs").
+func Solve(inst *Instance, variant Variant, iters int, rng *rand.Rand) (*Deployment, *Relaxation, error) {
+	rel, err := SolveRelaxation(inst)
+	if err != nil {
+		return nil, nil, err
+	}
+	dep, err := SolveFromRelaxation(inst, rel, variant, iters, rng)
+	return dep, rel, err
+}
+
+// SolveFromRelaxation is Solve for callers that already hold the
+// relaxation (the evaluation reuses one relaxation across variants).
+func SolveFromRelaxation(inst *Instance, rel *Relaxation, variant Variant, iters int, rng *rand.Rand) (*Deployment, error) {
+	if iters <= 0 {
+		iters = 1
+	}
+	var best *Deployment
+	for it := 0; it < iters; it++ {
+		dep, err := Round(inst, rel, RoundConfig{}, rng)
+		if err != nil {
+			return nil, err
+		}
+		switch variant {
+		case VariantRoundLP:
+			if err := ResolveLP(inst, dep); err != nil {
+				return nil, err
+			}
+		case VariantRoundGreedyLP:
+			GreedyFill(inst, dep)
+			if err := ResolveLP(inst, dep); err != nil {
+				return nil, err
+			}
+		}
+		if best == nil || dep.Objective > best.Objective {
+			best = dep
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,6 @@
+package nips
+
+import "math/rand"
+
+// newSeededRand centralizes RNG construction for reproducible runs.
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,281 @@
+// Package online implements the paper's Section 3.5: making NIPS
+// deployment robust to adaptive adversaries who control the unwanted
+// traffic mix. It follows the Kalai–Vempala framework for online linear
+// optimization: decisions are the sampling vectors d_ikj, the state of the
+// world in epoch t is the vector of T_ik^items x M_ik(t) x Dist_ikj terms
+// revealed only after the decision, and the follow-the-perturbed-leader
+// (FPL) strategy plays the optimizer Lambda on the perturbed historical sum
+// of states. Theorem 3.1 bounds the expected average regret by
+// sqrt(D*R*A/gamma) with the constants defined in the paper.
+//
+// As in the paper's preliminary evaluation, the TCAM constraints (and the
+// discrete e_ij variables) are removed: Lambda is a pure LP.
+package online
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nwdeploy/internal/lp"
+	"nwdeploy/internal/nips"
+	"nwdeploy/internal/traffic"
+)
+
+// errNonPositiveEpochs rejects empty horizons.
+var errNonPositiveEpochs = errors.New("online: nonpositive epoch count")
+
+// Decision is a fractional sampling assignment: D[i][k][pos] parallels the
+// instance's rule/path/position structure.
+type Decision struct {
+	D [][][]float64
+}
+
+// Adapter runs the FPL strategy over epochs.
+type Adapter struct {
+	inst *nips.Instance
+	// Eps is the FPL perturbation parameter (perturbations are drawn
+	// uniformly from [0, 1/Eps]^n).
+	Eps float64
+
+	cum   [][]float64 // cumulative observed match rates per (rule, path)
+	epoch int
+	rng   *rand.Rand
+}
+
+// NewAdapter builds an FPL adapter for the instance. gamma is the intended
+// horizon and maxdrop the conservative bound on the droppable traffic
+// fraction; together they set eps = sqrt(D/(R*A*gamma)) per Theorem 3.1,
+// with D = M*N*L and R = A = sum_ik T_ik^items * maxdrop.
+func NewAdapter(inst *nips.Instance, gamma int, maxdrop float64, seed int64) *Adapter {
+	if gamma < 1 {
+		gamma = 1
+	}
+	if maxdrop <= 0 {
+		maxdrop = 0.01
+	}
+	nPaths := len(inst.Paths)
+	nNodes := inst.Topo.N()
+	nRules := len(inst.Rules)
+	dDim := float64(nPaths * nNodes * nRules)
+	var ra float64
+	for k := range inst.Paths {
+		ra += inst.Items[k] * maxdrop
+	}
+	eps := math.Sqrt(dDim / (ra * ra * float64(gamma)))
+	cum := make([][]float64, nRules)
+	for i := range cum {
+		cum[i] = make([]float64, nPaths)
+	}
+	return &Adapter{
+		inst: inst,
+		Eps:  eps,
+		cum:  cum,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Decide returns the FPL decision for the current epoch: Lambda applied to
+// the perturbed sum of observed states. The perturbation is drawn fresh
+// each epoch, guarding against adversaries who know the strategy.
+func (a *Adapter) Decide() (*Decision, error) {
+	perturb := func(i, k, pos int) float64 {
+		return a.rng.Float64() / a.Eps
+	}
+	weights := func(i, k int) float64 { return a.cum[i][k] }
+	return solveLambda(a.inst, weights, perturb)
+}
+
+// Observe reveals epoch t's true match rates (after the decision, as the
+// framework requires) and accumulates them into the state history.
+func (a *Adapter) Observe(m [][]float64) error {
+	if len(m) != len(a.cum) {
+		return fmt.Errorf("online: observed %d rules, want %d", len(m), len(a.cum))
+	}
+	for i := range m {
+		if len(m[i]) != len(a.cum[i]) {
+			return fmt.Errorf("online: rule %d observed %d paths, want %d", i, len(m[i]), len(a.cum[i]))
+		}
+		for k := range m[i] {
+			a.cum[i][k] += m[i][k]
+		}
+	}
+	a.epoch++
+	return nil
+}
+
+// Reward evaluates a decision against one epoch's true match rates: the
+// Eq. (7) objective realized in that epoch.
+func Reward(inst *nips.Instance, d *Decision, m [][]float64) float64 {
+	var total float64
+	for i := range d.D {
+		for k := range d.D[i] {
+			for pos := range d.D[i][k] {
+				total += d.D[i][k][pos] * inst.Items[k] * m[i][k] * inst.Dist[k][pos]
+			}
+		}
+	}
+	return total
+}
+
+// BestStatic computes the single decision maximizing the total reward over
+// the given epochs — the hindsight benchmark the regret is measured
+// against. By linearity it is Lambda applied to the unperturbed state sum.
+func BestStatic(inst *nips.Instance, epochs [][][]float64) (*Decision, float64, error) {
+	nRules := len(inst.Rules)
+	nPaths := len(inst.Paths)
+	sum := make([][]float64, nRules)
+	for i := range sum {
+		sum[i] = make([]float64, nPaths)
+		for k := range sum[i] {
+			for _, m := range epochs {
+				sum[i][k] += m[i][k]
+			}
+		}
+	}
+	d, err := solveLambda(inst, func(i, k int) float64 { return sum[i][k] }, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	var total float64
+	for _, m := range epochs {
+		total += Reward(inst, d, m)
+	}
+	return d, total, nil
+}
+
+// solveLambda is the optimization procedure Lambda: maximize the weighted
+// Eq. (7) objective subject to the capacity and coverage constraints (no
+// TCAM, so no integral variables). perturb may be nil.
+func solveLambda(inst *nips.Instance, weight func(i, k int) float64, perturb func(i, k, pos int) float64) (*Decision, error) {
+	p := lp.New(lp.Maximize)
+	n := inst.Topo.N()
+	memTerms := make([][]lp.Term, n)
+	cpuTerms := make([][]lp.Term, n)
+	type ref struct{ i, k, pos int }
+	var refs []ref
+	var vars []lp.Var
+	for i := range inst.Rules {
+		for k, path := range inst.Paths {
+			cover := make([]lp.Term, 0, len(path))
+			for pos, j := range path {
+				coef := inst.Items[k] * weight(i, k) * inst.Dist[k][pos]
+				if perturb != nil {
+					coef += perturb(i, k, pos)
+				}
+				v := p.AddVar("d", coef, 0, 1)
+				refs = append(refs, ref{i, k, pos})
+				vars = append(vars, v)
+				cover = append(cover, lp.Term{Var: v, Coef: 1})
+				memTerms[j] = append(memTerms[j], lp.Term{Var: v, Coef: inst.Items[k] * inst.Rules[i].MemPerItem})
+				cpuTerms[j] = append(cpuTerms[j], lp.Term{Var: v, Coef: inst.Pkts[k] * inst.Rules[i].CPUPerPkt})
+			}
+			p.AddConstraint("cover", cover, lp.LE, 1)
+		}
+	}
+	for j := 0; j < n; j++ {
+		if len(memTerms[j]) > 0 {
+			p.AddConstraint("mem", memTerms[j], lp.LE, inst.MemCap[j])
+		}
+		if len(cpuTerms[j]) > 0 {
+			p.AddConstraint("cpu", cpuTerms[j], lp.LE, inst.CPUCap[j])
+		}
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("online: Lambda: %w", err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		return nil, fmt.Errorf("online: Lambda %v", sol.Status)
+	}
+	d := &Decision{D: make([][][]float64, len(inst.Rules))}
+	for i := range inst.Rules {
+		d.D[i] = make([][]float64, len(inst.Paths))
+		for k := range inst.Paths {
+			d.D[i][k] = make([]float64, len(inst.Paths[k]))
+		}
+	}
+	for x, r := range refs {
+		v := sol.Value(vars[x])
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		d.D[r.i][r.k][r.pos] = v
+	}
+	return d, nil
+}
+
+// RegretPoint is one sample of the Figure 11 series.
+type RegretPoint struct {
+	Epoch int
+	// Normalized is the cumulative regret against the best static decision
+	// in hindsight for this prefix, normalized by that static optimum's
+	// cumulative objective. Negative values mean the online algorithm beat
+	// the best static choice so far.
+	Normalized float64
+}
+
+// RunConfig parameterizes a Figure 11 style experiment.
+type RunConfig struct {
+	Epochs int
+	// SampleEvery controls how often the (LP-solving) hindsight benchmark
+	// is recomputed; zero samples every 10 epochs.
+	SampleEvery int
+	// MatchHigh is the upper bound of the per-epoch uniform match-rate
+	// distribution; zero selects the paper's 0.01.
+	MatchHigh float64
+	// Maxdrop feeds the Theorem 3.1 constants; zero selects 0.01.
+	Maxdrop float64
+	Seed    int64
+}
+
+// Run executes one online-adaptation run: in every epoch the adapter
+// decides, the adversary's match rates are revealed, and the realized
+// objective is compared — at sampling points — to the best static decision
+// in hindsight. It returns the normalized-regret series.
+func Run(inst *nips.Instance, cfg RunConfig) ([]RegretPoint, error) {
+	if cfg.Epochs <= 0 {
+		return nil, errNonPositiveEpochs
+	}
+	sample := cfg.SampleEvery
+	if sample <= 0 {
+		sample = 10
+	}
+	high := cfg.MatchHigh
+	if high == 0 {
+		high = 0.01
+	}
+	ad := NewAdapter(inst, cfg.Epochs, cfg.Maxdrop, cfg.Seed)
+
+	var history [][][]float64
+	var fplTotal float64
+	var series []RegretPoint
+	for t := 1; t <= cfg.Epochs; t++ {
+		dec, err := ad.Decide()
+		if err != nil {
+			return nil, err
+		}
+		m := traffic.MatchRates(len(inst.Rules), len(inst.Paths), 0, high, cfg.Seed+int64(t)*7919)
+		fplTotal += Reward(inst, dec, m)
+		if err := ad.Observe(m); err != nil {
+			return nil, err
+		}
+		history = append(history, m)
+		if t%sample == 0 || t == cfg.Epochs {
+			_, staticTotal, err := BestStatic(inst, history)
+			if err != nil {
+				return nil, err
+			}
+			pt := RegretPoint{Epoch: t}
+			if staticTotal > 0 {
+				pt.Normalized = (staticTotal - fplTotal) / staticTotal
+			}
+			series = append(series, pt)
+		}
+	}
+	return series, nil
+}

@@ -1,0 +1,166 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"nwdeploy/internal/nips"
+	"nwdeploy/internal/topology"
+	"nwdeploy/internal/traffic"
+)
+
+func onlineInstance(t *testing.T, rules, paths int) *nips.Instance {
+	t.Helper()
+	// TCAM caps are irrelevant here (Section 3.5 removes Eq. 8).
+	return nips.NewInstance(topology.Internet2(), nips.UnitRules(rules), nips.Config{
+		MaxPaths:             paths,
+		RuleCapacityFraction: 1,
+		MatchSeed:            13,
+	})
+}
+
+func TestAdapterEpsPositive(t *testing.T) {
+	inst := onlineInstance(t, 5, 10)
+	ad := NewAdapter(inst, 100, 0.01, 1)
+	if ad.Eps <= 0 || math.IsInf(ad.Eps, 0) || math.IsNaN(ad.Eps) {
+		t.Fatalf("eps = %v", ad.Eps)
+	}
+}
+
+func TestDecisionRespectsConstraints(t *testing.T) {
+	inst := onlineInstance(t, 5, 10)
+	ad := NewAdapter(inst, 50, 0.01, 2)
+	// Feed a few epochs then check the decision's feasibility.
+	for e := 0; e < 3; e++ {
+		dec, err := ad.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := inst.Topo.N()
+		mem := make([]float64, n)
+		cpu := make([]float64, n)
+		for i := range dec.D {
+			for k, path := range inst.Paths {
+				cover := 0.0
+				for pos, j := range path {
+					d := dec.D[i][k][pos]
+					if d < 0 || d > 1 {
+						t.Fatalf("d out of range: %v", d)
+					}
+					cover += d
+					mem[j] += inst.Items[k] * d
+					cpu[j] += inst.Pkts[k] * d
+				}
+				if cover > 1+1e-6 {
+					t.Fatalf("coverage %v > 1", cover)
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			if mem[j] > inst.MemCap[j]*(1+1e-6) || cpu[j] > inst.CPUCap[j]*(1+1e-6) {
+				t.Fatalf("capacity violated at node %d: mem %v cpu %v", j, mem[j], cpu[j])
+			}
+		}
+		m := traffic.MatchRates(len(inst.Rules), len(inst.Paths), 0, 0.01, int64(e))
+		if err := ad.Observe(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestObserveValidatesShape(t *testing.T) {
+	inst := onlineInstance(t, 3, 5)
+	ad := NewAdapter(inst, 10, 0.01, 3)
+	if err := ad.Observe(make([][]float64, 2)); err == nil {
+		t.Fatal("expected shape error for wrong rule count")
+	}
+	bad := make([][]float64, 3)
+	for i := range bad {
+		bad[i] = make([]float64, 1)
+	}
+	if err := ad.Observe(bad); err == nil {
+		t.Fatal("expected shape error for wrong path count")
+	}
+}
+
+func TestBestStaticDominatesArbitraryDecision(t *testing.T) {
+	inst := onlineInstance(t, 4, 8)
+	var epochs [][][]float64
+	for e := 0; e < 5; e++ {
+		epochs = append(epochs, traffic.MatchRates(4, len(inst.Paths), 0, 0.01, int64(100+e)))
+	}
+	static, total, err := BestStatic(inst, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 {
+		t.Fatalf("static total %v, want > 0", total)
+	}
+	// The hindsight optimum must beat the all-zero decision and any
+	// single-epoch-greedy decision evaluated over the whole horizon.
+	greedy, err := solveLambda(inst, func(i, k int) float64 { return epochs[0][i][k] }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var greedyTotal float64
+	for _, m := range epochs {
+		greedyTotal += Reward(inst, greedy, m)
+	}
+	if greedyTotal > total+1e-6 {
+		t.Fatalf("first-epoch greedy (%v) beat hindsight optimum (%v)", greedyTotal, total)
+	}
+	_ = static
+}
+
+func TestRewardLinearity(t *testing.T) {
+	inst := onlineInstance(t, 3, 6)
+	dec, err := solveLambda(inst, func(i, k int) float64 { return 1 }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := traffic.MatchRates(3, len(inst.Paths), 0, 0.01, 1)
+	m2 := traffic.MatchRates(3, len(inst.Paths), 0, 0.01, 2)
+	sum := make([][]float64, 3)
+	for i := range sum {
+		sum[i] = make([]float64, len(inst.Paths))
+		for k := range sum[i] {
+			sum[i][k] = m1[i][k] + m2[i][k]
+		}
+	}
+	lhs := Reward(inst, dec, sum)
+	rhs := Reward(inst, dec, m1) + Reward(inst, dec, m2)
+	if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+		t.Fatalf("reward not linear: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestRunRegretConvergesToSmall(t *testing.T) {
+	// The paper's Figure 11: regret at most ~15% of the best static
+	// solution, trending to zero over time. A short horizon with a small
+	// instance keeps the test fast while exercising the full loop.
+	inst := onlineInstance(t, 4, 8)
+	series, err := Run(inst, RunConfig{Epochs: 60, SampleEvery: 10, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 {
+		t.Fatalf("got %d samples, want 6", len(series))
+	}
+	final := series[len(series)-1].Normalized
+	if math.Abs(final) > 0.15 {
+		t.Fatalf("final normalized regret %v, want |r| <= 0.15", final)
+	}
+	// The late-horizon regret must not exceed the early-horizon regret by
+	// much (convergence trend).
+	early := math.Abs(series[0].Normalized)
+	if math.Abs(final) > early+0.05 {
+		t.Fatalf("regret grew: early %v, final %v", early, final)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	inst := onlineInstance(t, 2, 4)
+	if _, err := Run(inst, RunConfig{Epochs: 0}); err == nil {
+		t.Fatal("expected error for zero epochs")
+	}
+}

@@ -1,0 +1,176 @@
+package online
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nwdeploy/internal/nips"
+)
+
+// The paper's second future-work direction for Section 3.5 is "to apply
+// this framework to the formulation from Section 3.2" — the full
+// TCAM-constrained problem, where the per-epoch optimizer Lambda is no
+// longer exact (the problem is NP-hard) but an approximation algorithm.
+// The Kalai–Vempala framework extends to this case (the paper's footnote
+// cites Kakade, Kalai, and Ligett): following the perturbed leader with an
+// alpha-approximate Lambda yields vanishing alpha-regret — regret measured
+// against alpha times the best static solution. TCAMAdapter implements
+// exactly that: each epoch it perturbs the cumulative match-rate state and
+// runs the rounding+greedy+LP pipeline as Lambda.
+
+// TCAMAdapter runs FPL over integral TCAM-constrained deployments.
+type TCAMAdapter struct {
+	inst *nips.Instance
+	// Eps is the perturbation parameter, set as in NewAdapter.
+	Eps float64
+	// Iters is the rounding iterations Lambda uses per epoch.
+	Iters int
+
+	cum [][]float64
+	rng *rand.Rand
+}
+
+// NewTCAMAdapter builds the adapter; parameters follow NewAdapter, plus
+// the rounding iteration count for the approximate Lambda.
+func NewTCAMAdapter(inst *nips.Instance, gamma int, maxdrop float64, iters int, seed int64) *TCAMAdapter {
+	base := NewAdapter(inst, gamma, maxdrop, seed)
+	if iters <= 0 {
+		iters = 3
+	}
+	return &TCAMAdapter{
+		inst:  inst,
+		Eps:   base.Eps,
+		Iters: iters,
+		cum:   base.cum,
+		rng:   base.rng,
+	}
+}
+
+// perturbedInstance clones the instance with match rates set to the
+// perturbed cumulative state. Only the objective depends on M, so the
+// clone shares every other field.
+func (a *TCAMAdapter) perturbedInstance() *nips.Instance {
+	clone := *a.inst
+	m := make([][]float64, len(a.cum))
+	for i := range m {
+		m[i] = make([]float64, len(a.cum[i]))
+		for k := range m[i] {
+			// Perturbation scaled into match-rate units: the state element
+			// is Items*M*Dist, so dividing the raw U[0,1/eps] draw by the
+			// path volume keeps the perturbation comparable across paths.
+			p := a.rng.Float64() / a.Eps / math.Max(1, a.inst.Items[k])
+			m[i][k] = a.cum[i][k] + p
+		}
+	}
+	clone.M = m
+	return &clone
+}
+
+// Decide returns this epoch's integral deployment: Lambda (relaxation +
+// rounding + greedy + LP re-solve) on the perturbed historical state.
+func (a *TCAMAdapter) Decide() (*nips.Deployment, error) {
+	dep, _, err := nips.Solve(a.perturbedInstance(), nips.VariantRoundGreedyLP, a.Iters, a.rng)
+	if err != nil {
+		return nil, fmt.Errorf("online: TCAM Lambda: %w", err)
+	}
+	return dep, nil
+}
+
+// Observe accumulates the revealed epoch state.
+func (a *TCAMAdapter) Observe(m [][]float64) error {
+	if len(m) != len(a.cum) {
+		return fmt.Errorf("online: observed %d rules, want %d", len(m), len(a.cum))
+	}
+	for i := range m {
+		if len(m[i]) != len(a.cum[i]) {
+			return fmt.Errorf("online: rule %d observed %d paths, want %d", i, len(m[i]), len(a.cum[i]))
+		}
+		for k := range m[i] {
+			a.cum[i][k] += m[i][k]
+		}
+	}
+	return nil
+}
+
+// DeploymentReward evaluates an integral deployment against one epoch's
+// match rates.
+func DeploymentReward(inst *nips.Instance, dep *nips.Deployment, m [][]float64) float64 {
+	var total float64
+	for i := range dep.D {
+		for k := range dep.D[i] {
+			for pos := range dep.D[i][k] {
+				total += dep.D[i][k][pos] * inst.Items[k] * m[i][k] * inst.Dist[k][pos]
+			}
+		}
+	}
+	return total
+}
+
+// BestStaticTCAM approximates the best static integral deployment in
+// hindsight with the same Lambda the adapter uses (exactness is NP-hard).
+func BestStaticTCAM(inst *nips.Instance, epochs [][][]float64, iters int, seed int64) (*nips.Deployment, float64, error) {
+	clone := *inst
+	sum := make([][]float64, len(inst.Rules))
+	for i := range sum {
+		sum[i] = make([]float64, len(inst.Paths))
+		for k := range sum[i] {
+			for _, m := range epochs {
+				sum[i][k] += m[i][k]
+			}
+		}
+	}
+	clone.M = sum
+	dep, _, err := nips.Solve(&clone, nips.VariantRoundGreedyLP, iters, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, 0, err
+	}
+	var total float64
+	for _, m := range epochs {
+		total += DeploymentReward(inst, dep, m)
+	}
+	return dep, total, nil
+}
+
+// RunTCAM plays the TCAM adapter against an adversary for the horizon and
+// samples the normalized (alpha-)regret like RunVsAdversary.
+func RunTCAM(inst *nips.Instance, adv Adversary, cfg RunConfig, iters int) (*AdversarialResult, error) {
+	if cfg.Epochs <= 0 {
+		return nil, errNonPositiveEpochs
+	}
+	sample := cfg.SampleEvery
+	if sample <= 0 {
+		sample = 10
+	}
+	ad := NewTCAMAdapter(inst, cfg.Epochs, cfg.Maxdrop, iters, cfg.Seed)
+
+	res := &AdversarialResult{Adversary: adv.Name() + "+tcam"}
+	var history [][][]float64
+	var prevDecision *Decision
+	for t := 1; t <= cfg.Epochs; t++ {
+		m := adv.Next(t, prevDecision)
+		dep, err := ad.Decide()
+		if err != nil {
+			return nil, err
+		}
+		res.FPLTotal += DeploymentReward(inst, dep, m)
+		if err := ad.Observe(m); err != nil {
+			return nil, err
+		}
+		history = append(history, m)
+		prevDecision = &Decision{D: dep.D}
+		if t%sample == 0 || t == cfg.Epochs {
+			_, staticTotal, err := BestStaticTCAM(inst, history, iters, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			pt := RegretPoint{Epoch: t}
+			if staticTotal > 0 {
+				pt.Normalized = (staticTotal - res.FPLTotal) / staticTotal
+			}
+			res.Series = append(res.Series, pt)
+			res.StaticTotal = staticTotal
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,83 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"nwdeploy/internal/nips"
+	"nwdeploy/internal/topology"
+	"nwdeploy/internal/traffic"
+)
+
+func tcamInstance(t *testing.T) *nips.Instance {
+	t.Helper()
+	return nips.NewInstance(topology.Internet2(), nips.UnitRules(5), nips.Config{
+		MaxPaths:             8,
+		RuleCapacityFraction: 0.4, // 2 TCAM slots per node: enablement is binding
+		MatchSeed:            3,
+	})
+}
+
+func TestTCAMAdapterDecisionsAreFeasible(t *testing.T) {
+	inst := tcamInstance(t)
+	ad := NewTCAMAdapter(inst, 30, 0.01, 2, 5)
+	for e := 0; e < 3; e++ {
+		dep, err := ad.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dep.Verify(inst); err != nil {
+			t.Fatalf("epoch %d: integral deployment infeasible: %v", e, err)
+		}
+		m := traffic.MatchRates(5, len(inst.Paths), 0, 0.01, int64(e))
+		if err := ad.Observe(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCAMAdapterObserveValidation(t *testing.T) {
+	inst := tcamInstance(t)
+	ad := NewTCAMAdapter(inst, 10, 0.01, 1, 5)
+	if err := ad.Observe(make([][]float64, 1)); err == nil {
+		t.Fatal("expected rule-count validation error")
+	}
+}
+
+func TestRunTCAMRegretBounded(t *testing.T) {
+	inst := tcamInstance(t)
+	adv := &UniformAdversary{Rules: 5, Paths: len(inst.Paths), High: 0.01, Seed: 8}
+	res, err := RunTCAM(inst, adv, RunConfig{Epochs: 30, SampleEvery: 10, Seed: 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adversary != "uniform+tcam" {
+		t.Fatalf("adversary label %q", res.Adversary)
+	}
+	if res.FPLTotal <= 0 {
+		t.Fatal("TCAM deployer dropped nothing")
+	}
+	final := res.Series[len(res.Series)-1].Normalized
+	if math.IsNaN(final) || final > 0.5 {
+		t.Fatalf("alpha-regret %v, want bounded (<= 0.5)", final)
+	}
+	if _, err := RunTCAM(inst, adv, RunConfig{Epochs: 0}, 1); err == nil {
+		t.Fatal("expected epoch validation error")
+	}
+}
+
+func TestDeploymentRewardMatchesDecisionReward(t *testing.T) {
+	inst := tcamInstance(t)
+	ad := NewTCAMAdapter(inst, 10, 0.01, 1, 2)
+	dep, err := ad.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := traffic.MatchRates(5, len(inst.Paths), 0, 0.01, 9)
+	asDecision := &Decision{D: dep.D}
+	a := DeploymentReward(inst, dep, m)
+	b := Reward(inst, asDecision, m)
+	if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+		t.Fatalf("reward paths disagree: %v vs %v", a, b)
+	}
+}

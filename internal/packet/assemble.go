@@ -1,0 +1,141 @@
+package packet
+
+import (
+	"io"
+	"time"
+
+	"nwdeploy/internal/conntrack"
+	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/traffic"
+)
+
+// Assembler rebuilds session-level records from a packet stream — the
+// inverse of Expand, and the front half of what a real NIDS node does
+// before the engine sees connection events. It rides on the conntrack
+// table for canonicalization, idle expiry, and peak accounting.
+type Assembler struct {
+	table   *conntrack.Table
+	dec     Decoder
+	nextID  int
+	byTuple map[hashing.FiveTuple]*pending
+
+	// Decoded counts successfully parsed frames; Malformed counts frames
+	// the decoder rejected.
+	Decoded, Malformed int
+}
+
+type pending struct {
+	id        int
+	tuple     hashing.FiveTuple // orientation of the first packet seen
+	packets   int
+	bytes     int
+	lastSeen  time.Time
+	sawFINACK int // FIN flags observed (2 = both directions closed)
+	isTCP     bool
+}
+
+// NewAssembler builds an assembler with the given idle timeout.
+func NewAssembler(idle time.Duration, hashKey uint32) *Assembler {
+	return &Assembler{
+		table: conntrack.New(conntrack.Config{
+			IdleTimeout: idle,
+			HashKey:     hashKey,
+		}),
+		byTuple: make(map[hashing.FiveTuple]*pending),
+	}
+}
+
+// canonicalKey mirrors the conntrack canonical ordering.
+func canonicalKey(ft hashing.FiveTuple) hashing.FiveTuple {
+	if ft.SrcIP > ft.DstIP || (ft.SrcIP == ft.DstIP && ft.SrcPort > ft.DstPort) {
+		return ft.Reverse()
+	}
+	return ft
+}
+
+// Feed consumes one frame. It returns a completed session when this frame
+// finished one (TCP close observed in both directions), else ok=false.
+func (a *Assembler) Feed(ts time.Time, frame []byte) (traffic.Session, bool) {
+	if err := a.dec.Decode(frame); err != nil {
+		a.Malformed++
+		return traffic.Session{}, false
+	}
+	a.Decoded++
+	ft := a.dec.FiveTuple()
+	key := canonicalKey(ft)
+	a.table.Update(ft, ts, 1, len(frame))
+
+	p, seen := a.byTuple[key]
+	if !seen {
+		p = &pending{
+			id:    a.nextID,
+			tuple: ft,
+			isTCP: ft.Proto == ProtoTCP,
+		}
+		a.nextID++
+		a.byTuple[key] = p
+	}
+	p.packets++
+	p.bytes += len(frame)
+	p.lastSeen = ts
+	if p.isTCP && a.dec.TCP.Flags&FlagFIN != 0 {
+		p.sawFINACK++
+	}
+	if p.isTCP && p.sawFINACK >= 2 && a.dec.TCP.Flags&FlagACK != 0 && a.dec.TCP.Flags&FlagFIN == 0 {
+		// Final ACK after both FINs: the session is complete.
+		s := a.finalize(key, p)
+		return s, true
+	}
+	return traffic.Session{}, false
+}
+
+// finalize converts a pending record into a Session and forgets it.
+func (a *Assembler) finalize(key hashing.FiveTuple, p *pending) traffic.Session {
+	delete(a.byTuple, key)
+	return traffic.Session{
+		ID:      p.id,
+		Src:     traffic.NodeOfIP(p.tuple.SrcIP),
+		Dst:     traffic.NodeOfIP(p.tuple.DstIP),
+		Tuple:   p.tuple,
+		Packets: p.packets,
+		Bytes:   p.bytes,
+	}
+}
+
+// Flush returns every still-pending session (UDP exchanges and TCP flows
+// without observed teardown), as a trace-end or idle-timeout pass would.
+func (a *Assembler) Flush() []traffic.Session {
+	out := make([]traffic.Session, 0, len(a.byTuple))
+	for key, p := range a.byTuple {
+		out = append(out, a.finalize(key, p))
+	}
+	return out
+}
+
+// Pending reports sessions still being assembled.
+func (a *Assembler) Pending() int { return len(a.byTuple) }
+
+// TableStats exposes the underlying connection table's accounting (peak
+// concurrent connections = the max-resident-memory analogue).
+func (a *Assembler) TableStats() conntrack.Stats { return a.table.Stats() }
+
+// ReadSessions drains a pcap stream into sessions: completed ones in
+// stream order followed by the flushed remainder.
+func ReadSessions(r *Reader, idle time.Duration, hashKey uint32) ([]traffic.Session, *Assembler, error) {
+	a := NewAssembler(idle, hashKey)
+	var out []traffic.Session
+	for {
+		ts, frame, err := r.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if s, done := a.Feed(ts, frame); done {
+			out = append(out, s)
+		}
+	}
+	out = append(out, a.Flush()...)
+	return out, a, nil
+}

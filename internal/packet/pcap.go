@@ -1,0 +1,133 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Libpcap classic file format (the one tcpdump -w writes): a 24-byte
+// global header followed by 16-byte per-record headers. Traces written
+// here open in tcpdump and wireshark.
+
+const (
+	pcapMagicLE     = 0xa1b2c3d4
+	pcapVersionMaj  = 2
+	pcapVersionMin  = 4
+	pcapLinkEther   = 1
+	pcapSnapLenMax  = 65535
+	pcapGlobalBytes = 24
+	pcapRecordBytes = 16
+)
+
+// Writer emits a libpcap capture file.
+type Writer struct {
+	w       io.Writer
+	started bool
+}
+
+// NewWriter wraps w; the global header is written on the first packet.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WritePacket appends one frame with the given capture timestamp.
+func (pw *Writer) WritePacket(ts time.Time, frame []byte) error {
+	if !pw.started {
+		var hdr [pcapGlobalBytes]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], pcapMagicLE)
+		binary.LittleEndian.PutUint16(hdr[4:6], pcapVersionMaj)
+		binary.LittleEndian.PutUint16(hdr[6:8], pcapVersionMin)
+		// thiszone=0, sigfigs=0
+		binary.LittleEndian.PutUint32(hdr[16:20], pcapSnapLenMax)
+		binary.LittleEndian.PutUint32(hdr[20:24], pcapLinkEther)
+		if _, err := pw.w.Write(hdr[:]); err != nil {
+			return fmt.Errorf("packet: pcap global header: %w", err)
+		}
+		pw.started = true
+	}
+	if len(frame) > pcapSnapLenMax {
+		return fmt.Errorf("packet: frame of %d bytes exceeds pcap snaplen", len(frame))
+	}
+	var rec [pcapRecordBytes]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(frame)))
+	if _, err := pw.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("packet: pcap record header: %w", err)
+	}
+	if _, err := pw.w.Write(frame); err != nil {
+		return fmt.Errorf("packet: pcap record body: %w", err)
+	}
+	return nil
+}
+
+// Reader consumes a libpcap capture file.
+type Reader struct {
+	r       io.Reader
+	started bool
+	swapped bool // big-endian file
+}
+
+// NewReader wraps r; the global header is validated on the first read.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ErrBadMagic marks a stream that is not a classic pcap file.
+var ErrBadMagic = errors.New("packet: not a pcap file (bad magic)")
+
+func (pr *Reader) readGlobal() error {
+	var hdr [pcapGlobalBytes]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		return err
+	}
+	magic := binary.LittleEndian.Uint32(hdr[0:4])
+	switch magic {
+	case pcapMagicLE:
+		pr.swapped = false
+	case 0xd4c3b2a1:
+		pr.swapped = true
+	default:
+		return ErrBadMagic
+	}
+	link := pr.u32(hdr[20:24])
+	if link != pcapLinkEther {
+		return fmt.Errorf("packet: unsupported pcap link type %d", link)
+	}
+	pr.started = true
+	return nil
+}
+
+func (pr *Reader) u32(b []byte) uint32 {
+	if pr.swapped {
+		return binary.BigEndian.Uint32(b)
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// ReadPacket returns the next frame and its timestamp; io.EOF at the end.
+func (pr *Reader) ReadPacket() (time.Time, []byte, error) {
+	if !pr.started {
+		if err := pr.readGlobal(); err != nil {
+			return time.Time{}, nil, err
+		}
+	}
+	var rec [pcapRecordBytes]byte
+	if _, err := io.ReadFull(pr.r, rec[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return time.Time{}, nil, io.ErrUnexpectedEOF
+		}
+		return time.Time{}, nil, err
+	}
+	sec := pr.u32(rec[0:4])
+	usec := pr.u32(rec[4:8])
+	capLen := pr.u32(rec[8:12])
+	if capLen > pcapSnapLenMax {
+		return time.Time{}, nil, fmt.Errorf("packet: implausible capture length %d", capLen)
+	}
+	frame := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, frame); err != nil {
+		return time.Time{}, nil, fmt.Errorf("packet: truncated record body: %w", err)
+	}
+	return time.Unix(int64(sec), int64(usec)*1000), frame, nil
+}

@@ -1,0 +1,208 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Internet2 returns the 11-node Abilene/Internet2 backbone used by the
+// paper's network-wide NIDS evaluation (Section 2.4): 11 PoPs distributed
+// across the continental US, 14 links, shortest-path routing on fiber
+// distance. Metro populations (circa 2010 census estimates) drive the
+// gravity-model traffic matrix; the paper notes New York carries the
+// largest gravity share, which these numbers reproduce.
+func Internet2() *Topology {
+	nodes := []Node{
+		{ID: 0, Name: "SEAT", City: "Seattle", Population: 3.44e6, Lat: 47.61, Lon: -122.33},
+		{ID: 1, Name: "SNVA", City: "Sunnyvale", Population: 4.34e6, Lat: 37.37, Lon: -122.04},
+		{ID: 2, Name: "LOSA", City: "Los Angeles", Population: 12.83e6, Lat: 34.05, Lon: -118.24},
+		{ID: 3, Name: "DNVR", City: "Denver", Population: 2.54e6, Lat: 39.74, Lon: -104.99},
+		{ID: 4, Name: "KSCY", City: "Kansas City", Population: 2.04e6, Lat: 39.10, Lon: -94.58},
+		{ID: 5, Name: "HSTN", City: "Houston", Population: 5.92e6, Lat: 29.76, Lon: -95.37},
+		{ID: 6, Name: "CHIN", City: "Chicago", Population: 9.46e6, Lat: 41.88, Lon: -87.63},
+		{ID: 7, Name: "IPLS", City: "Indianapolis", Population: 1.76e6, Lat: 39.77, Lon: -86.16},
+		{ID: 8, Name: "ATLA", City: "Atlanta", Population: 5.29e6, Lat: 33.75, Lon: -84.39},
+		{ID: 9, Name: "WASH", City: "Washington DC", Population: 5.58e6, Lat: 38.91, Lon: -77.04},
+		{ID: 10, Name: "NYCM", City: "New York", Population: 18.90e6, Lat: 40.71, Lon: -74.01},
+	}
+	t := New("Internet2", nodes)
+	links := [][2]string{
+		{"SEAT", "SNVA"}, {"SEAT", "DNVR"},
+		{"SNVA", "LOSA"}, {"SNVA", "DNVR"},
+		{"LOSA", "HSTN"},
+		{"DNVR", "KSCY"},
+		{"KSCY", "HSTN"}, {"KSCY", "IPLS"},
+		{"HSTN", "ATLA"},
+		{"ATLA", "IPLS"}, {"ATLA", "WASH"},
+		{"IPLS", "CHIN"},
+		{"CHIN", "NYCM"},
+		{"WASH", "NYCM"},
+	}
+	for _, l := range links {
+		a, _ := t.NodeByName(l[0])
+		b, _ := t.NodeByName(l[1])
+		t.AddLinkAuto(a.ID, b.ID)
+	}
+	return t
+}
+
+// Geant returns a 22-node GEANT-like European research backbone. The paper
+// uses the GEANT educational backbone for the NIPS evaluation (Section
+// 3.4). The node set and mesh here follow the well-known GEANT PoP map of
+// that era (city positions and populations are real; the link set is the
+// standard published mesh, lightly simplified).
+func Geant() *Topology {
+	nodes := []Node{
+		{ID: 0, Name: "UK", City: "London", Population: 8.17e6, Lat: 51.51, Lon: -0.13},
+		{ID: 1, Name: "FR", City: "Paris", Population: 10.52e6, Lat: 48.86, Lon: 2.35},
+		{ID: 2, Name: "ES", City: "Madrid", Population: 5.76e6, Lat: 40.42, Lon: -3.70},
+		{ID: 3, Name: "PT", City: "Lisbon", Population: 2.81e6, Lat: 38.72, Lon: -9.14},
+		{ID: 4, Name: "CH", City: "Geneva", Population: 1.24e6, Lat: 46.20, Lon: 6.14},
+		{ID: 5, Name: "IT", City: "Milan", Population: 4.11e6, Lat: 45.46, Lon: 9.19},
+		{ID: 6, Name: "AT", City: "Vienna", Population: 2.42e6, Lat: 48.21, Lon: 16.37},
+		{ID: 7, Name: "CZ", City: "Prague", Population: 1.28e6, Lat: 50.08, Lon: 14.44},
+		{ID: 8, Name: "DE", City: "Frankfurt", Population: 5.60e6, Lat: 50.11, Lon: 8.68},
+		{ID: 9, Name: "NL", City: "Amsterdam", Population: 2.45e6, Lat: 52.37, Lon: 4.90},
+		{ID: 10, Name: "BE", City: "Brussels", Population: 2.05e6, Lat: 50.85, Lon: 4.35},
+		{ID: 11, Name: "DK", City: "Copenhagen", Population: 1.99e6, Lat: 55.68, Lon: 12.57},
+		{ID: 12, Name: "SE", City: "Stockholm", Population: 2.05e6, Lat: 59.33, Lon: 18.06},
+		{ID: 13, Name: "FI", City: "Helsinki", Population: 1.36e6, Lat: 60.17, Lon: 24.94},
+		{ID: 14, Name: "PL", City: "Warsaw", Population: 3.10e6, Lat: 52.23, Lon: 21.01},
+		{ID: 15, Name: "HU", City: "Budapest", Population: 2.97e6, Lat: 47.50, Lon: 19.04},
+		{ID: 16, Name: "HR", City: "Zagreb", Population: 1.11e6, Lat: 45.81, Lon: 15.98},
+		{ID: 17, Name: "GR", City: "Athens", Population: 3.75e6, Lat: 37.98, Lon: 23.73},
+		{ID: 18, Name: "IE", City: "Dublin", Population: 1.80e6, Lat: 53.35, Lon: -6.26},
+		{ID: 19, Name: "LU", City: "Luxembourg", Population: 0.54e6, Lat: 49.61, Lon: 6.13},
+		{ID: 20, Name: "SI", City: "Ljubljana", Population: 0.54e6, Lat: 46.06, Lon: 14.51},
+		{ID: 21, Name: "SK", City: "Bratislava", Population: 0.66e6, Lat: 48.15, Lon: 17.11},
+	}
+	t := New("Geant", nodes)
+	links := [][2]string{
+		{"UK", "FR"}, {"UK", "NL"}, {"UK", "IE"}, {"UK", "BE"},
+		{"FR", "ES"}, {"FR", "CH"}, {"FR", "BE"}, {"FR", "LU"},
+		{"ES", "PT"}, {"ES", "IT"},
+		{"PT", "UK"},
+		{"CH", "IT"}, {"CH", "DE"},
+		{"IT", "AT"}, {"IT", "GR"},
+		{"AT", "CZ"}, {"AT", "HU"}, {"AT", "SI"}, {"AT", "SK"}, {"AT", "DE"},
+		{"CZ", "DE"}, {"CZ", "PL"}, {"CZ", "SK"},
+		{"DE", "NL"}, {"DE", "DK"}, {"DE", "LU"},
+		{"NL", "BE"},
+		{"DK", "SE"},
+		{"SE", "FI"},
+		{"FI", "DE"},
+		{"PL", "DE"},
+		{"HU", "HR"}, {"HU", "SK"},
+		{"HR", "SI"},
+		{"GR", "AT"},
+		{"IE", "NL"},
+	}
+	for _, l := range links {
+		a, _ := t.NodeByName(l[0])
+		b, _ := t.NodeByName(l[1])
+		t.AddLinkAuto(a.ID, b.ID)
+	}
+	return t
+}
+
+// RocketfuelSpec names a tier-1 ISP whose Rocketfuel-inferred PoP map the
+// paper evaluates on. The real maps are not redistributable, so
+// RocketfuelLike synthesizes an ISP backbone with the same PoP count and a
+// comparable two-level core/gateway structure; DESIGN.md documents the
+// substitution.
+type RocketfuelSpec struct {
+	ASN   int
+	Name  string
+	PoPs  int
+	Cores int
+	Seed  int64
+}
+
+// Rocketfuel ASNs evaluated by the paper (Figure 10).
+var (
+	AS1221 = RocketfuelSpec{ASN: 1221, Name: "AS1221-Telstra", PoPs: 44, Cores: 9, Seed: 1221}
+	AS1239 = RocketfuelSpec{ASN: 1239, Name: "AS1239-Sprint", PoPs: 52, Cores: 11, Seed: 1239}
+	AS3257 = RocketfuelSpec{ASN: 3257, Name: "AS3257-Tiscali", PoPs: 41, Cores: 8, Seed: 3257}
+)
+
+// RocketfuelLike deterministically generates an ISP-like two-level backbone
+// per the spec: a well-connected core (ring plus chords) and access PoPs
+// homed to one or two cores. City coordinates are drawn on a continental
+// grid and populations follow a Zipf-like distribution, matching the skew
+// real gravity matrices show.
+func RocketfuelLike(spec RocketfuelSpec) *Topology {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	if spec.PoPs < 4 || spec.Cores < 3 || spec.Cores > spec.PoPs {
+		panic(fmt.Sprintf("topology: bad rocketfuel spec %+v", spec))
+	}
+	nodes := make([]Node, spec.PoPs)
+	for i := range nodes {
+		// Zipf-ish population: largest metro ~12M, decaying with rank.
+		pop := 12.0e6 / float64(i+1)
+		pop *= 0.8 + 0.4*rng.Float64()
+		nodes[i] = Node{
+			ID:         i,
+			Name:       fmt.Sprintf("P%02d", i),
+			City:       fmt.Sprintf("%s-pop%02d", spec.Name, i),
+			Population: pop,
+			Lat:        25 + rng.Float64()*24, // continental band
+			Lon:        -120 + rng.Float64()*50,
+		}
+	}
+	t := New(spec.Name, nodes)
+
+	// Core ring.
+	for c := 0; c < spec.Cores; c++ {
+		t.AddLinkAuto(c, (c+1)%spec.Cores)
+	}
+	// Core chords: roughly cores/2 extra links for resilience.
+	for i := 0; i < spec.Cores/2; i++ {
+		a := rng.Intn(spec.Cores)
+		b := rng.Intn(spec.Cores)
+		if a == b || t.hasLink(a, b) {
+			continue
+		}
+		t.AddLinkAuto(a, b)
+	}
+	// Access PoPs: home to the nearest core, dual-home with probability 0.4.
+	for p := spec.Cores; p < spec.PoPs; p++ {
+		best, bestD := -1, 0.0
+		for c := 0; c < spec.Cores; c++ {
+			d := Haversine(nodes[p].Lat, nodes[p].Lon, nodes[c].Lat, nodes[c].Lon)
+			if best < 0 || d < bestD {
+				best, bestD = c, d
+			}
+		}
+		t.AddLinkAuto(p, best)
+		if rng.Float64() < 0.4 {
+			second := rng.Intn(spec.Cores)
+			if second != best && !t.hasLink(p, second) {
+				t.AddLinkAuto(p, second)
+			}
+		}
+	}
+	if !t.Connected() {
+		// The construction above always yields a connected graph (every
+		// access PoP is homed to the core ring); this is a generator
+		// invariant worth failing loudly on.
+		panic("topology: generated rocketfuel-like graph is disconnected")
+	}
+	return t
+}
+
+func (t *Topology) hasLink(a, b int) bool {
+	for _, nb := range t.adj[a] {
+		if nb.to == b {
+			return true
+		}
+	}
+	return false
+}
+
+// FiftyNode returns a 50-node ISP-like topology used to reproduce the
+// paper's optimization-time measurements ("It takes 0.42 seconds to compute
+// the optimal solution for a 50-node topology", Section 2.4; "roughly 220
+// seconds ... for a 50-node topology", Section 3.4).
+func FiftyNode() *Topology {
+	return RocketfuelLike(RocketfuelSpec{ASN: 0, Name: "ISP50", PoPs: 50, Cores: 10, Seed: 50})
+}

@@ -1,0 +1,113 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// The paper's Section 5 "Traffic changes" discussion: the optimization runs
+// on periodic traffic reports and is re-run every few minutes, but
+// "to handle short-term bursts, we can use conservative values; e.g.,
+// 95%ile values to account for bursty patterns and tradeoff some loss in
+// optimality for better robustness". This file provides the epoch series
+// and quantile machinery that the conservative planner consumes.
+
+// EpochSeries holds per-epoch traffic volumes for a fixed pair set:
+// Volumes[e][k] is the items volume of pair k during epoch e.
+type EpochSeries struct {
+	Pairs   [][2]int
+	Volumes [][]float64
+}
+
+// BurstConfig shapes the synthetic epoch series.
+type BurstConfig struct {
+	Epochs int
+	// BaseJitter is the multiplicative noise around the mean volume
+	// (e.g. 0.1 for +-10%). Zero selects 0.1.
+	BaseJitter float64
+	// BurstProb is the per-(epoch, pair) probability of a burst. Zero
+	// selects 0.05.
+	BurstProb float64
+	// BurstFactor multiplies the mean volume during a burst. Zero
+	// selects 3.
+	BurstFactor float64
+	Seed        int64
+}
+
+// BurstySeries synthesizes an epoch series around the gravity-model means:
+// lognormal-ish jitter plus occasional multiplicative bursts, the
+// short-term dynamics the conservative provisioning guards against.
+func BurstySeries(pv PathVolumes, cfg BurstConfig) *EpochSeries {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 100
+	}
+	if cfg.BaseJitter == 0 {
+		cfg.BaseJitter = 0.1
+	}
+	if cfg.BurstProb == 0 {
+		cfg.BurstProb = 0.05
+	}
+	if cfg.BurstFactor == 0 {
+		cfg.BurstFactor = 3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Burstiness is heterogeneous across pairs (some customer paths are
+	// spiky, others steady), which is what makes conservative provisioning
+	// differ from mean provisioning.
+	pairProb := make([]float64, len(pv.Pairs))
+	for k := range pairProb {
+		pairProb[k] = rng.Float64() * 2 * cfg.BurstProb
+	}
+	s := &EpochSeries{Pairs: pv.Pairs}
+	for e := 0; e < cfg.Epochs; e++ {
+		vols := make([]float64, len(pv.Items))
+		for k, mean := range pv.Items {
+			v := mean * math.Exp(rng.NormFloat64()*cfg.BaseJitter)
+			if rng.Float64() < pairProb[k] {
+				v *= cfg.BurstFactor
+			}
+			vols[k] = v
+		}
+		s.Volumes = append(s.Volumes, vols)
+	}
+	return s
+}
+
+// Quantile returns, per pair, the q-quantile (0 < q <= 1) of the epoch
+// volumes — Quantile(0.95) is the paper's conservative provisioning input.
+func (s *EpochSeries) Quantile(q float64) []float64 {
+	if q <= 0 {
+		q = 0.5
+	}
+	if q > 1 {
+		q = 1
+	}
+	out := make([]float64, len(s.Pairs))
+	tmp := make([]float64, len(s.Volumes))
+	for k := range s.Pairs {
+		for e := range s.Volumes {
+			tmp[e] = s.Volumes[e][k]
+		}
+		sort.Float64s(tmp)
+		idx := int(math.Ceil(q*float64(len(tmp)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[k] = tmp[idx]
+	}
+	return out
+}
+
+// Mean returns the per-pair mean volumes.
+func (s *EpochSeries) Mean() []float64 {
+	out := make([]float64, len(s.Pairs))
+	for k := range s.Pairs {
+		var sum float64
+		for e := range s.Volumes {
+			sum += s.Volumes[e][k]
+		}
+		out[k] = sum / float64(len(s.Volumes))
+	}
+	return out
+}

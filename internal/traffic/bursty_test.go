@@ -1,0 +1,75 @@
+package traffic
+
+import (
+	"testing"
+
+	"nwdeploy/internal/topology"
+)
+
+func burstySeries(t *testing.T, epochs int) *EpochSeries {
+	t.Helper()
+	tp := topology.Internet2()
+	pv := Volumes(tp, Gravity(tp), 20)
+	return BurstySeries(pv, BurstConfig{Epochs: epochs, BurstProb: 0.1, BurstFactor: 3, Seed: 5})
+}
+
+func TestBurstySeriesShape(t *testing.T) {
+	s := burstySeries(t, 80)
+	if len(s.Volumes) != 80 || len(s.Pairs) != 20 {
+		t.Fatalf("series is %dx%d", len(s.Volumes), len(s.Pairs))
+	}
+	for e := range s.Volumes {
+		for k := range s.Volumes[e] {
+			if s.Volumes[e][k] <= 0 {
+				t.Fatalf("nonpositive volume at epoch %d pair %d", e, k)
+			}
+		}
+	}
+}
+
+func TestQuantileOrdering(t *testing.T) {
+	s := burstySeries(t, 120)
+	p50 := s.Quantile(0.5)
+	p95 := s.Quantile(0.95)
+	p100 := s.Quantile(1)
+	mean := s.Mean()
+	for k := range s.Pairs {
+		if p50[k] > p95[k] || p95[k] > p100[k] {
+			t.Fatalf("pair %d: quantiles not ordered: %v %v %v", k, p50[k], p95[k], p100[k])
+		}
+		if mean[k] <= 0 {
+			t.Fatalf("pair %d: nonpositive mean", k)
+		}
+		// p100 is the max: every epoch's value is <= it.
+		for e := range s.Volumes {
+			if s.Volumes[e][k] > p100[k] {
+				t.Fatalf("pair %d epoch %d exceeds the 1.0-quantile", k, e)
+			}
+		}
+	}
+}
+
+func TestBurstsInflateTheTail(t *testing.T) {
+	s := burstySeries(t, 200)
+	p95 := s.Quantile(0.95)
+	mean := s.Mean()
+	inflated := 0
+	for k := range s.Pairs {
+		if p95[k] > 1.3*mean[k] {
+			inflated++
+		}
+	}
+	if inflated == 0 {
+		t.Fatal("no pair shows a bursty tail; generator inert")
+	}
+}
+
+func TestQuantileClamping(t *testing.T) {
+	s := burstySeries(t, 30)
+	if got := s.Quantile(-1); len(got) != len(s.Pairs) {
+		t.Fatal("negative quantile not clamped")
+	}
+	if got := s.Quantile(2); len(got) != len(s.Pairs) {
+		t.Fatal("overlarge quantile not clamped")
+	}
+}
