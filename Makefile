@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check race bench vet test build
+
+# Tier-1 verification: everything must build and the full test suite pass.
+check: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race tier: vet plus the full suite under the race detector. The parallel
+# determinism tests (Workers: 4 against Workers: 1) run their worker pools
+# here, so data races in the sharded engine, the solver sweep, or the
+# experiment grids are caught even on single-core hosts.
+race: vet
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -17,7 +17,9 @@
 package nwdeploy
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"nwdeploy/internal/experiments"
@@ -241,5 +243,40 @@ func BenchmarkProvisioning(b *testing.B) {
 				b.ReportMetric(r.ViolationFraction, "p95-plan-violation-frac")
 			}
 		}
+	}
+}
+
+// BenchmarkParallelEmulation runs the Figure 6/7 network-wide emulation
+// (both deployments, full module set) with the worker pool off and sized to
+// the machine, isolating the tentpole parallel layer's speedup on the
+// emulation hot path. On multi-core hosts the workers=max sub-benchmark
+// should approach a GOMAXPROCS-fold reduction; results are byte-identical
+// either way (asserted by the determinism tests).
+func BenchmarkParallelEmulation(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.Config{Quick: true, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig7(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelFig10 sweeps the Figure 10 (topology x capacity x
+// scenario) solver grid serially and on the full worker pool — the second
+// tentpole hot path (LP relaxations plus rounding iterations per cell).
+func BenchmarkParallelFig10(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.Config{Quick: true, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig10(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

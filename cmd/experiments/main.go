@@ -3,223 +3,263 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only fig5,fig6,fig7,fig8,fig10,fig11,opttime,redundancy,ablations,adversaries]
+//	experiments [-quick] [-workers n] [-only fig5,fig6,fig7,fig8,fig10,fig11,opttime,redundancy,ablations,adversaries]
 //
 // With -quick the reduced workload sizes are used (seconds per experiment);
 // without it the full evaluation sizes run (several minutes on one core —
-// the LP solver is pure Go). Each block is prefixed by a "# figure" header
-// naming the paper artifact it reproduces and the workload parameters, so
-// the output can be diffed across runs and fed straight to a plotter.
+// the LP solver is pure Go). -workers sizes the worker pool (0 = GOMAXPROCS,
+// 1 = serial); the output is byte-identical for every value. Each block is
+// prefixed by a "# figure" header naming the paper artifact it reproduces
+// and the workload parameters, so the output can be diffed across runs and
+// fed straight to a plotter.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"nwdeploy/internal/experiments"
+	"nwdeploy/internal/parallel"
 )
+
+// runner is one experiment block: it renders its whole output (header plus
+// rows) into a string so the blocks can execute on a worker pool and still
+// print in canonical order.
+type runner struct {
+	name string
+	fn   func(experiments.Config) (string, error)
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	only := flag.String("only", "", "comma-separated subset of experiments to run")
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, name := range strings.Split(*only, ",") {
 			want[strings.TrimSpace(name)] = true
 		}
 	}
-	run := func(name string) bool { return len(want) == 0 || want[name] }
-
-	if run("fig5") {
-		fig5(cfg)
+	all := []runner{
+		{"fig5", fig5},
+		{"fig6", fig6},
+		{"fig7", fig7},
+		{"fig8", fig8},
+		{"opttime", optTimes},
+		{"fig10", fig10},
+		{"fig11", fig11},
+		{"fig10robustness", fig10robustness},
+		{"redundancy", redundancy},
+		{"ablations", ablations},
+		{"adversaries", adversaries},
+		{"provisioning", provisioning},
 	}
-	if run("fig6") {
-		fig6(cfg)
-	}
-	if run("fig7") {
-		fig7(cfg)
-	}
-	if run("fig8") {
-		fig8(cfg)
-	}
-	if run("opttime") {
-		optTimes(cfg)
-	}
-	if run("fig10") {
-		fig10(cfg)
-	}
-	if run("fig11") {
-		fig11(cfg)
-	}
-	if run("fig10robustness") {
-		fig10robustness(cfg)
-	}
-	if run("redundancy") {
-		redundancy(cfg)
-	}
-	if run("ablations") {
-		ablations(cfg)
-	}
-	if run("adversaries") {
-		adversaries(cfg)
-	}
-	if run("provisioning") {
-		provisioning(cfg)
-	}
-}
-
-func header(figure, detail string) {
-	fmt.Printf("\n# %s — %s\n", figure, detail)
-}
-
-func fig5(cfg experiments.Config) {
-	header("Figure 5", "per-module CPU and memory overhead of the coordination checks (policy-stage vs event-stage)")
-	fmt.Println("module\tcpu_policy\tcpu_event\tmem_policy\tmem_event")
-	for _, r := range experiments.Fig5(cfg) {
-		fmt.Printf("%s\t%.4f\t%.4f\t%.4f\t%.4f\n", r.Module, r.PolicyCPU, r.EventCPU, r.PolicyMem, r.EventMem)
-	}
-}
-
-func fig6(cfg experiments.Config) {
-	rows, err := experiments.Fig6(cfg)
-	if err != nil {
-		log.Fatalf("fig6: %v", err)
-	}
-	header("Figure 6", "max per-node footprint vs number of NIDS modules (Internet2)")
-	fmt.Println("modules\tedge_mem\tcoord_mem\tedge_cpu\tcoord_cpu")
-	for _, r := range rows {
-		fmt.Printf("%d\t%.4g\t%.4g\t%.4g\t%.4g\n", r.Modules, r.EdgeMem, r.CoordMem, r.EdgeCPU, r.CoordCPU)
-	}
-}
-
-func fig7(cfg experiments.Config) {
-	rows, err := experiments.Fig7(cfg)
-	if err != nil {
-		log.Fatalf("fig7: %v", err)
-	}
-	header("Figure 7", "max per-node footprint vs total traffic volume (21 modules)")
-	fmt.Println("sessions\tedge_mem\tcoord_mem\tedge_cpu\tcoord_cpu")
-	for _, r := range rows {
-		fmt.Printf("%d\t%.4g\t%.4g\t%.4g\t%.4g\n", r.Sessions, r.EdgeMem, r.CoordMem, r.EdgeCPU, r.CoordCPU)
-	}
-}
-
-func fig8(cfg experiments.Config) {
-	rows, err := experiments.Fig8(cfg)
-	if err != nil {
-		log.Fatalf("fig8: %v", err)
-	}
-	header("Figure 8", "per-node footprint, edge vs coordinated (100k sessions, 21 modules)")
-	fmt.Println("node\tcity\tedge_mem\tcoord_mem\tedge_cpu\tcoord_cpu")
-	for _, r := range rows {
-		fmt.Printf("%d\t%s\t%.4g\t%.4g\t%.4g\t%.4g\n", r.Node, r.City, r.EdgeMem, r.CoordMem, r.EdgeCPU, r.CoordCPU)
-	}
-}
-
-func optTimes(cfg experiments.Config) {
-	header("Optimization time", "LP/MILP-approx solve times on a 50-node topology (paper: 0.42s NIDS with CPLEX, ~220s NIPS)")
-	fmt.Println("problem\tnodes\tseconds\tpaper_seconds")
-	nids, err := experiments.NIDSOptTime(cfg)
-	if err != nil {
-		log.Fatalf("opttime nids: %v", err)
-	}
-	fmt.Printf("%s\t%d\t%.3f\t%.2f\n", nids.Problem, nids.Nodes, nids.Seconds, nids.PaperSeconds)
-	np, err := experiments.NIPSOptTime(cfg)
-	if err != nil {
-		log.Fatalf("opttime nips: %v", err)
-	}
-	fmt.Printf("%s\t%d\t%.3f\t%.2f\n", np.Problem, np.Nodes, np.Seconds, np.PaperSeconds)
-}
-
-func fig10(cfg experiments.Config) {
-	rows, err := experiments.Fig10(cfg)
-	if err != nil {
-		log.Fatalf("fig10: %v", err)
-	}
-	header("Figure 10", "rounding algorithms as a fraction of the LP upper bound vs rule capacity constraint")
-	fmt.Println("topology\tcap_frac\tvariant\tmean\tmin\tmax")
-	for _, r := range rows {
-		fmt.Printf("%s\t%.2f\t%s\t%.4f\t%.4f\t%.4f\n", r.Topology, r.CapFrac, r.Variant, r.Mean, r.Min, r.Max)
-	}
-}
-
-func fig11(cfg experiments.Config) {
-	rows, err := experiments.Fig11(cfg)
-	if err != nil {
-		log.Fatalf("fig11: %v", err)
-	}
-	header("Figure 11", "normalized regret of the FPL online adaptation over epochs")
-	fmt.Println("run\tepoch\tnormalized_regret")
-	for _, run := range rows {
-		for _, pt := range run.Series {
-			fmt.Printf("%d\t%d\t%.4f\n", run.Run, pt.Epoch, pt.Normalized)
+	var selected []runner
+	for _, r := range all {
+		if len(want) == 0 || want[r.name] {
+			selected = append(selected, r)
 		}
 	}
+
+	// Independent experiment blocks fan out across the pool; when several
+	// run at once, each keeps its inner sweeps serial so the pool is not
+	// oversubscribed. A lone block gets the whole pool for its sweeps.
+	runnerWorkers := parallel.Resolve(*workers, len(selected))
+	cfg := experiments.Config{Quick: *quick, Workers: *workers}
+	if runnerWorkers > 1 {
+		cfg.Workers = 1
+	}
+	outputs, err := parallel.MapErr(runnerWorkers, len(selected), func(i int) (string, error) {
+		out, err := selected[i].fn(cfg)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", selected[i].name, err)
+		}
+		return out, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, out := range outputs {
+		os.Stdout.WriteString(out)
+	}
 }
 
-func redundancy(cfg experiments.Config) {
+func header(b *strings.Builder, figure, detail string) {
+	fmt.Fprintf(b, "\n# %s — %s\n", figure, detail)
+}
+
+func fig5(cfg experiments.Config) (string, error) {
+	var b strings.Builder
+	header(&b, "Figure 5", "per-module CPU and memory overhead of the coordination checks (policy-stage vs event-stage)")
+	fmt.Fprintln(&b, "module\tcpu_policy\tcpu_event\tmem_policy\tmem_event")
+	for _, r := range experiments.Fig5(cfg) {
+		fmt.Fprintf(&b, "%s\t%.4f\t%.4f\t%.4f\t%.4f\n", r.Module, r.PolicyCPU, r.EventCPU, r.PolicyMem, r.EventMem)
+	}
+	return b.String(), nil
+}
+
+func fig6(cfg experiments.Config) (string, error) {
+	rows, err := experiments.Fig6(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	header(&b, "Figure 6", "max per-node footprint vs number of NIDS modules (Internet2)")
+	fmt.Fprintln(&b, "modules\tedge_mem\tcoord_mem\tedge_cpu\tcoord_cpu")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d\t%.4g\t%.4g\t%.4g\t%.4g\n", r.Modules, r.EdgeMem, r.CoordMem, r.EdgeCPU, r.CoordCPU)
+	}
+	return b.String(), nil
+}
+
+func fig7(cfg experiments.Config) (string, error) {
+	rows, err := experiments.Fig7(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	header(&b, "Figure 7", "max per-node footprint vs total traffic volume (21 modules)")
+	fmt.Fprintln(&b, "sessions\tedge_mem\tcoord_mem\tedge_cpu\tcoord_cpu")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d\t%.4g\t%.4g\t%.4g\t%.4g\n", r.Sessions, r.EdgeMem, r.CoordMem, r.EdgeCPU, r.CoordCPU)
+	}
+	return b.String(), nil
+}
+
+func fig8(cfg experiments.Config) (string, error) {
+	rows, err := experiments.Fig8(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	header(&b, "Figure 8", "per-node footprint, edge vs coordinated (100k sessions, 21 modules)")
+	fmt.Fprintln(&b, "node\tcity\tedge_mem\tcoord_mem\tedge_cpu\tcoord_cpu")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d\t%s\t%.4g\t%.4g\t%.4g\t%.4g\n", r.Node, r.City, r.EdgeMem, r.CoordMem, r.EdgeCPU, r.CoordCPU)
+	}
+	return b.String(), nil
+}
+
+func optTimes(cfg experiments.Config) (string, error) {
+	var b strings.Builder
+	header(&b, "Optimization time", "LP/MILP-approx solve times on a 50-node topology (paper: 0.42s NIDS with CPLEX, ~220s NIPS)")
+	fmt.Fprintln(&b, "problem\tnodes\tseconds\tpaper_seconds")
+	nids, err := experiments.NIDSOptTime(cfg)
+	if err != nil {
+		return "", fmt.Errorf("nids: %w", err)
+	}
+	fmt.Fprintf(&b, "%s\t%d\t%.3f\t%.2f\n", nids.Problem, nids.Nodes, nids.Seconds, nids.PaperSeconds)
+	np, err := experiments.NIPSOptTime(cfg)
+	if err != nil {
+		return "", fmt.Errorf("nips: %w", err)
+	}
+	fmt.Fprintf(&b, "%s\t%d\t%.3f\t%.2f\n", np.Problem, np.Nodes, np.Seconds, np.PaperSeconds)
+	return b.String(), nil
+}
+
+func fig10(cfg experiments.Config) (string, error) {
+	rows, err := experiments.Fig10(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	header(&b, "Figure 10", "rounding algorithms as a fraction of the LP upper bound vs rule capacity constraint")
+	fmt.Fprintln(&b, "topology\tcap_frac\tvariant\tmean\tmin\tmax")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s\t%.2f\t%s\t%.4f\t%.4f\t%.4f\n", r.Topology, r.CapFrac, r.Variant, r.Mean, r.Min, r.Max)
+	}
+	return b.String(), nil
+}
+
+func fig11(cfg experiments.Config) (string, error) {
+	rows, err := experiments.Fig11(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	header(&b, "Figure 11", "normalized regret of the FPL online adaptation over epochs")
+	fmt.Fprintln(&b, "run\tepoch\tnormalized_regret")
+	for _, run := range rows {
+		for _, pt := range run.Series {
+			fmt.Fprintf(&b, "%d\t%d\t%.4f\n", run.Run, pt.Epoch, pt.Normalized)
+		}
+	}
+	return b.String(), nil
+}
+
+func redundancy(cfg experiments.Config) (string, error) {
 	rows, err := experiments.Redundancy(cfg)
 	if err != nil {
-		log.Fatalf("redundancy: %v", err)
+		return "", err
 	}
-	header("Section 2.5", "minimized max load vs redundancy level r")
-	fmt.Println("r\tmax_load")
+	var b strings.Builder
+	header(&b, "Section 2.5", "minimized max load vs redundancy level r")
+	fmt.Fprintln(&b, "r\tmax_load")
 	for _, r := range rows {
-		fmt.Printf("%d\t%.4f\n", r.R, r.MaxLoad)
+		fmt.Fprintf(&b, "%d\t%.4f\n", r.R, r.MaxLoad)
 	}
+	return b.String(), nil
 }
 
-func ablations(cfg experiments.Config) {
+func ablations(cfg experiments.Config) (string, error) {
 	rows, err := experiments.Ablations(cfg)
 	if err != nil {
-		log.Fatalf("ablations: %v", err)
+		return "", err
 	}
-	header("Ablations", "design-choice comparisons (LP vs greedy, fine-grained coordination, keyed hash)")
-	fmt.Println("name\tmetric\tbaseline\tvariant")
+	var b strings.Builder
+	header(&b, "Ablations", "design-choice comparisons (LP vs greedy, fine-grained coordination, keyed hash)")
+	fmt.Fprintln(&b, "name\tmetric\tbaseline\tvariant")
 	for _, r := range rows {
-		fmt.Printf("%s\t%s\t%.4g\t%.4g\n", r.Name, r.Metric, r.Baseline, r.Variant)
+		fmt.Fprintf(&b, "%s\t%s\t%.4g\t%.4g\n", r.Name, r.Metric, r.Baseline, r.Variant)
 	}
+	return b.String(), nil
 }
 
-func adversaries(cfg experiments.Config) {
+func adversaries(cfg experiments.Config) (string, error) {
 	rows, err := experiments.Adversaries(cfg)
 	if err != nil {
-		log.Fatalf("adversaries: %v", err)
+		return "", err
 	}
-	header("Adversaries", "FPL online deployer vs oblivious, drifting, and adaptive adversaries (Section 3.5 future work)")
-	fmt.Println("adversary\tfinal_normalized_regret\tfpl_total_objective")
+	var b strings.Builder
+	header(&b, "Adversaries", "FPL online deployer vs oblivious, drifting, and adaptive adversaries (Section 3.5 future work)")
+	fmt.Fprintln(&b, "adversary\tfinal_normalized_regret\tfpl_total_objective")
 	for _, r := range rows {
-		fmt.Printf("%s\t%.4f\t%.5g\n", r.Adversary, r.FinalRegret, r.FPLTotal)
+		fmt.Fprintf(&b, "%s\t%.4f\t%.5g\n", r.Adversary, r.FinalRegret, r.FPLTotal)
 	}
+	return b.String(), nil
 }
 
-func fig10robustness(cfg experiments.Config) {
+func fig10robustness(cfg experiments.Config) (string, error) {
 	rows, err := experiments.Fig10Robustness(cfg)
 	if err != nil {
-		log.Fatalf("fig10robustness: %v", err)
+		return "", err
 	}
-	header("Figure 10 robustness", "rounding variants under other match-rate distributions (paper: 'results hold', shown for brevity)")
-	fmt.Println("distribution\tvariant\tmean_frac_of_optlp")
+	var b strings.Builder
+	header(&b, "Figure 10 robustness", "rounding variants under other match-rate distributions (paper: 'results hold', shown for brevity)")
+	fmt.Fprintln(&b, "distribution\tvariant\tmean_frac_of_optlp")
 	for _, r := range rows {
-		fmt.Printf("%s\t%s\t%.4f\n", r.Dist, r.Variant, r.Mean)
+		fmt.Fprintf(&b, "%s\t%s\t%.4f\n", r.Dist, r.Variant, r.Mean)
 	}
+	return b.String(), nil
 }
 
-func provisioning(cfg experiments.Config) {
+func provisioning(cfg experiments.Config) (string, error) {
 	rows, err := experiments.Provisioning(cfg)
 	if err != nil {
-		log.Fatalf("provisioning: %v", err)
+		return "", err
 	}
-	header("Section 5 provisioning", "mean vs 95th-percentile planning under bursty epochs")
-	fmt.Println("strategy\tplanned_max_load\tworst_epoch_load\tmean_epoch_load\tviolation_fraction")
+	var b strings.Builder
+	header(&b, "Section 5 provisioning", "mean vs 95th-percentile planning under bursty epochs")
+	fmt.Fprintln(&b, "strategy\tplanned_max_load\tworst_epoch_load\tmean_epoch_load\tviolation_fraction")
 	for _, r := range rows {
-		fmt.Printf("%s\t%.4f\t%.4f\t%.4f\t%.2f\n", r.Strategy, r.PlannedMaxLoad, r.WorstEpochLoad, r.MeanEpochLoad, r.ViolationFraction)
+		fmt.Fprintf(&b, "%s\t%.4f\t%.4f\t%.4f\t%.2f\n", r.Strategy, r.PlannedMaxLoad, r.WorstEpochLoad, r.MeanEpochLoad, r.ViolationFraction)
 	}
+	return b.String(), nil
 }

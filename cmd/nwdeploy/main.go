@@ -52,6 +52,11 @@ type Spec struct {
 	Rules                int     `json:"rules"`
 	MaxPaths             int     `json:"max_paths"`
 	RuleCapacityFraction float64 `json:"rule_capacity_fraction"`
+
+	// Workers sizes the worker pool for the NIPS rounding sweep: 0 uses
+	// GOMAXPROCS, 1 forces the serial path. Results are identical for any
+	// value; overridden by the -workers flag when set.
+	Workers int `json:"workers,omitempty"`
 }
 
 // SpecNode is a custom topology node.
@@ -95,6 +100,7 @@ func main() {
 	iters := flag.Int("iters", 5, "NIPS rounding iterations")
 	node := flag.Int("node", 0, "node whose manifest to print (mode manifest)")
 	factor := flag.Float64("factor", 2.0, "capacity multiplier for what-if upgrades (mode whatif)")
+	workers := flag.Int("workers", 0, "worker pool size for the NIPS rounding sweep (0 = GOMAXPROCS, 1 = serial)")
 	printSpec := flag.Bool("print-spec", false, "emit the default spec as JSON and exit")
 	flag.Parse()
 
@@ -115,6 +121,9 @@ func main() {
 		if err := json.Unmarshal(data, &spec); err != nil {
 			log.Fatalf("parsing %s: %v", *specPath, err)
 		}
+	}
+	if *workers != 0 {
+		spec.Workers = *workers
 	}
 
 	topo, err := buildTopology(spec)
@@ -268,7 +277,9 @@ func runNIPS(topo *topology.Topology, spec Spec, variantName string, iters int) 
 		RuleCapacityFraction: spec.RuleCapacityFraction,
 		MatchSeed:            spec.Seed,
 	})
-	dep, rel, err := nips.Solve(inst, variant, iters, newRand(spec.Seed))
+	dep, rel, err := nips.Solve(inst, nips.SolveOptions{
+		Variant: variant, Iters: iters, Seed: spec.Seed, Workers: spec.Workers,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -39,8 +39,7 @@ func main() {
 
 	var best *nips.Deployment
 	for _, v := range []nips.Variant{nips.VariantBasic, nips.VariantRoundLP, nips.VariantRoundGreedyLP} {
-		rng := rand.New(rand.NewSource(1))
-		dep, err := nips.SolveFromRelaxation(inst, rel, v, 5, rng)
+		dep, err := nips.SolveFromRelaxation(inst, rel, nips.SolveOptions{Variant: v, Iters: 5, Seed: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

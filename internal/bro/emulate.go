@@ -5,6 +5,7 @@ import (
 
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/parallel"
 	"nwdeploy/internal/topology"
 	"nwdeploy/internal/traffic"
 )
@@ -79,6 +80,11 @@ type Emulation struct {
 	Sessions []traffic.Session
 	Plan     *core.Plan
 	Hasher   hashing.Hasher
+	// Workers fans the per-node engine runs out across a worker pool: 0
+	// selects GOMAXPROCS, 1 the serial legacy path. Node runs are fully
+	// independent (each node sees its own trace and keeps its own engine
+	// state), so the result is byte-identical for every worker count.
+	Workers int
 
 	paths [][][]int
 }
@@ -149,8 +155,16 @@ func (e *Emulation) Run(d Deployment) *EmulationResult {
 // deployment.
 func (e *Emulation) RunFineGrained(d Deployment, fineGrained bool) *EmulationResult {
 	res := &EmulationResult{Deployment: d}
-	res.Reports = make([]Report, e.Topo.N())
-	for j := 0; j < e.Topo.N(); j++ {
+	n := e.Topo.N()
+	nodeWorkers := parallel.Resolve(e.Workers, n)
+	// When the node level already saturates the pool, keep each node's
+	// engine serial; a lone worker instead lets the engine shard its module
+	// lanes internally.
+	engineWorkers := 1
+	if nodeWorkers == 1 {
+		engineWorkers = e.Workers
+	}
+	res.Reports = parallel.Map(nodeWorkers, n, func(j int) Report {
 		trace := e.nodeTrace(j, d)
 		var cfg Config
 		switch d {
@@ -159,11 +173,12 @@ func (e *Emulation) RunFineGrained(d Deployment, fineGrained bool) *EmulationRes
 		case DeployCoordinated:
 			cfg = Config{
 				Mode: ModeCoordEvent, Modules: e.Modules, Plan: e.Plan,
-				Node: j, Hasher: e.Hasher, FineGrained: fineGrained,
+				Hasher: e.Hasher, FineGrained: fineGrained,
 			}
 		}
 		cfg.Node = j
-		res.Reports[j] = Run(cfg, trace)
-	}
+		cfg.Workers = engineWorkers
+		return Run(cfg, trace)
+	})
 	return res
 }

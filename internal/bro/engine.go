@@ -5,6 +5,7 @@ import (
 
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/parallel"
 	"nwdeploy/internal/traffic"
 )
 
@@ -87,6 +88,13 @@ type Config struct {
 	// removing the duplicated baseline processing the paper identifies as
 	// the remaining overhead of the coordinated deployment.
 	FineGrained bool
+	// Workers shards the run's analysis work across a worker pool: 0
+	// selects GOMAXPROCS, 1 the serial legacy path. The shard unit is the
+	// module lane (each worker owns whole modules, including their policy
+	// tables), plus one lane for session-level connection processing, so
+	// the sharded run is bit-identical to the serial one — see DESIGN.md
+	// for why connection-keyed sharding cannot make that guarantee.
+	Workers int
 }
 
 // Report is the resource accounting of one engine run: the analogue of the
@@ -102,28 +110,52 @@ type Report struct {
 	PerModuleCPU map[string]float64
 }
 
-// engine is the mutable state of one run.
+// engine is the mutable state of one run (or of one lane of a sharded run).
 type engine struct {
 	cfg       Config
 	rep       Report
 	vm        vm
 	tables    []*moduleTables
-	classes   []core.Class
 	onAnalyze func(mi int, s traffic.Session)
+
+	// Sharding state. A serial engine owns everything: sessionOwner true
+	// and owned nil. A lane engine owns either the session-level costs
+	// (capture, connection records) or a subset of module lanes, so that
+	// summing the lane reports reproduces the serial report exactly.
+	sessionOwner bool
+	owned        []bool // nil = all modules
+	// pass, when non-nil, holds the precomputed manifest decisions for
+	// every (session, module) pair, flattened session-major. The decisions
+	// are stateless, so one shared read-only copy serves every lane.
+	pass []bool
 }
 
 // Run processes the session trace through one engine instance and returns
 // its resource report. Sessions are processed in pseudo-realtime order as
 // in the paper's emulation; the cost model is deterministic so repeated
-// runs agree exactly.
+// runs agree exactly, and sharded runs (cfg.Workers != 1) reproduce the
+// serial report bit for bit.
 func Run(cfg Config, sessions []traffic.Session) Report {
 	return runInternal(cfg, sessions, nil)
 }
 
 // runInternal is Run with an optional callback invoked for every (module,
 // session) analysis performed; RunWithLog uses it to build conn logs.
+// Callback runs stay serial so the log order matches the trace order.
 func runInternal(cfg Config, sessions []traffic.Session, onAnalyze func(int, traffic.Session)) Report {
-	e := &engine{cfg: cfg, onAnalyze: onAnalyze}
+	if w := parallel.Resolve(cfg.Workers, len(cfg.Modules)+1); w > 1 && onAnalyze == nil && len(cfg.Modules) > 0 {
+		return runSharded(cfg, sessions, w)
+	}
+	e := newEngine(cfg, onAnalyze)
+	for si, s := range sessions {
+		e.processSession(si, s)
+	}
+	return e.finish()
+}
+
+// newEngine builds a serial engine (owns every lane).
+func newEngine(cfg Config, onAnalyze func(int, traffic.Session)) *engine {
+	e := &engine{cfg: cfg, onAnalyze: onAnalyze, sessionOwner: true}
 	e.rep.Node = cfg.Node
 	e.rep.PerModuleCPU = make(map[string]float64, len(cfg.Modules))
 	e.vm.cost = &e.rep.CPUUnits
@@ -132,15 +164,98 @@ func runInternal(cfg Config, sessions []traffic.Session, onAnalyze func(int, tra
 	for i := range e.tables {
 		e.tables[i] = newModuleTables()
 	}
-	e.classes = Classes(cfg.Modules)
+	return e
+}
 
-	for _, s := range sessions {
-		e.processSession(s)
-	}
-	for _, t := range e.tables {
-		e.rep.MemBytes += t.memBytes()
+// finish folds the policy-table footprints of the owned modules into the
+// report and returns it.
+func (e *engine) finish() Report {
+	for mi, t := range e.tables {
+		if e.owns(mi) {
+			e.rep.MemBytes += t.memBytes()
+		}
 	}
 	return e.rep
+}
+
+// owns reports whether this engine owns module lane mi.
+func (e *engine) owns(mi int) bool { return e.owned == nil || e.owned[mi] }
+
+// runSharded is the parallel form of runInternal. The decomposition is
+// exact, not approximate: per-module policy state (the only cross-session
+// state in the engine) is confined to its module lane, every lane walks the
+// trace in order, all cost increments are integer-valued (so float sums are
+// associative at these magnitudes), and lane reports are merged in lane
+// order. A connection-keyed partition would instead split per-source and
+// per-destination policy tables across workers and change alert and memory
+// accounting relative to the serial run.
+func runSharded(cfg Config, sessions []traffic.Session, workers int) Report {
+	L := len(cfg.Modules)
+	// Phase 1: the (session, module) manifest decisions are stateless, so
+	// compute them once, in parallel blocks, shared read-only by all lanes.
+	pass := precomputePasses(cfg, sessions, workers)
+	// Phase 2: lane 0 owns session-level connection processing; lane mi+1
+	// owns module mi's analysis work and tables.
+	reports := parallel.Map(workers, L+1, func(lane int) Report {
+		e := newEngine(cfg, nil)
+		e.pass = pass
+		e.owned = make([]bool, L)
+		if lane == 0 {
+			e.sessionOwner = true
+		} else {
+			e.sessionOwner = false
+			e.owned[lane-1] = true
+		}
+		for si, s := range sessions {
+			e.processSession(si, s)
+		}
+		return e.finish()
+	})
+	merged := Report{Node: cfg.Node, PerModuleCPU: make(map[string]float64, L)}
+	for _, r := range reports {
+		merged.CPUUnits += r.CPUUnits
+		merged.MemBytes += r.MemBytes
+		merged.Conns += r.Conns
+		merged.Observed += r.Observed
+		merged.Alerts += r.Alerts
+		for name, c := range r.PerModuleCPU {
+			merged.PerModuleCPU[name] += c
+		}
+	}
+	return merged
+}
+
+// precomputePasses evaluates the Figure 3 manifest decision for every
+// (session, module) pair. The decision depends only on the plan and the
+// session tuple, never on engine state, which is what makes it safe to
+// hoist out of the per-lane walks.
+func precomputePasses(cfg Config, sessions []traffic.Session, workers int) []bool {
+	L := len(cfg.Modules)
+	pass := make([]bool, len(sessions)*L)
+	probe := &engine{cfg: cfg}
+	coordinated := cfg.Mode != ModePlain
+	const block = 1024
+	nBlocks := (len(sessions) + block - 1) / block
+	parallel.ForEach(workers, nBlocks, func(b int) {
+		lo := b * block
+		hi := lo + block
+		if hi > len(sessions) {
+			hi = len(sessions)
+		}
+		for si := lo; si < hi; si++ {
+			s := sessions[si]
+			row := pass[si*L : (si+1)*L]
+			for mi, m := range cfg.Modules {
+				if !m.MatchesSession(s) {
+					continue
+				}
+				if !coordinated || probe.analyzes(mi, s) {
+					row[mi] = true
+				}
+			}
+		}
+	})
+	return pass
 }
 
 // analyzes resolves the Figure 3 manifest decision for one module.
@@ -160,32 +275,44 @@ func (e *engine) checkStage(mi int) Stage {
 	return e.cfg.Modules[mi].EarliestCheck
 }
 
-func (e *engine) processSession(s traffic.Session) {
-	e.rep.Observed++
+func (e *engine) processSession(si int, s traffic.Session) {
 	pkts := float64(s.Packets)
-
-	// Every observed packet pays capture cost regardless of analysis: a
-	// node on the path cannot avoid seeing the traffic (Section 2.5's
-	// duplicated baseline tracking).
-	e.rep.CPUUnits += pkts * pktCaptureCost
-
 	coordinated := e.cfg.Mode != ModePlain
-	if coordinated {
-		// The prototype computes the hash combinations once per connection
-		// and carries them in the connection record.
-		e.rep.CPUUnits += hashPerConnCost
+
+	if e.sessionOwner {
+		e.rep.Observed++
+		// Every observed packet pays capture cost regardless of analysis: a
+		// node on the path cannot avoid seeing the traffic (Section 2.5's
+		// duplicated baseline tracking).
+		e.rep.CPUUnits += pkts * pktCaptureCost
+		if coordinated {
+			// The prototype computes the hash combinations once per
+			// connection and carries them in the connection record.
+			e.rep.CPUUnits += hashPerConnCost
+		}
 	}
 
 	// Which modules would analyze this session here (manifest decision)?
-	passes := make([]bool, len(e.cfg.Modules))
+	var passes []bool
 	anyPass := false
-	for mi, m := range e.cfg.Modules {
-		if !m.MatchesSession(s) {
-			continue
+	if e.pass != nil {
+		passes = e.pass[si*len(e.cfg.Modules) : (si+1)*len(e.cfg.Modules)]
+		for _, ok := range passes {
+			if ok {
+				anyPass = true
+				break
+			}
 		}
-		if !coordinated || e.analyzes(mi, s) {
-			passes[mi] = true
-			anyPass = true
+	} else {
+		passes = make([]bool, len(e.cfg.Modules))
+		for mi, m := range e.cfg.Modules {
+			if !m.MatchesSession(s) {
+				continue
+			}
+			if !coordinated || e.analyzes(mi, s) {
+				passes[mi] = true
+				anyPass = true
+			}
 		}
 	}
 
@@ -206,9 +333,11 @@ func (e *engine) processSession(s traffic.Session) {
 	// analyzes the session for needs only its first packet, serve them
 	// from a first-packet event and skip connection tracking entirely.
 	if e.cfg.FineGrained && coordinated && e.cfg.Plan != nil && e.fineGrainedOnly(passes) {
-		e.rep.CPUUnits += connPktCost // classify the first packet once
+		if e.sessionOwner {
+			e.rep.CPUUnits += connPktCost // classify the first packet once
+		}
 		for mi, m := range e.cfg.Modules {
-			if !passes[mi] || !m.FirstPacketOnly {
+			if !passes[mi] || !m.FirstPacketOnly || !e.owns(mi) {
 				continue
 			}
 			if e.onAnalyze != nil {
@@ -227,15 +356,17 @@ func (e *engine) processSession(s traffic.Session) {
 	}
 
 	// Connection-record creation and per-packet connection processing.
-	e.rep.CPUUnits += connSetupCost + pkts*connPktCost
-	e.rep.MemBytes += connRecordBytes
-	if coordinated {
-		e.rep.MemBytes += hashFieldBytes
+	if e.sessionOwner {
+		e.rep.CPUUnits += connSetupCost + pkts*connPktCost
+		e.rep.MemBytes += connRecordBytes
+		if coordinated {
+			e.rep.MemBytes += hashFieldBytes
+		}
+		e.rep.Conns++
 	}
-	e.rep.Conns++
 
 	for mi, m := range e.cfg.Modules {
-		if !m.SubscribedTo(s) {
+		if !e.owns(mi) || !m.SubscribedTo(s) {
 			continue
 		}
 		before := e.rep.CPUUnits

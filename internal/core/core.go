@@ -378,8 +378,12 @@ func Solve(inst *Instance, r int) (*Plan, error) {
 	return plan, nil
 }
 
+// clamp01 confines a solver value to [0, 1]. NaN maps to 0: both x < 0 and
+// x > 1 are false for NaN, so without the explicit check a degenerate solver
+// tolerance would propagate NaN into the hash-range boundaries built by
+// buildManifests.
 func clamp01(x float64) float64 {
-	if x < 0 {
+	if math.IsNaN(x) || x < 0 {
 		return 0
 	}
 	if x > 1 {

@@ -423,3 +423,43 @@ func TestQuickManifestTiling(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestClamp01MapsNaNToZero(t *testing.T) {
+	cases := map[float64]float64{
+		-0.5: 0, 0: 0, 0.25: 0.25, 1: 1, 1.5: 1,
+		math.Inf(-1): 0, math.Inf(1): 1,
+	}
+	for in, want := range cases {
+		if got := clamp01(in); got != want {
+			t.Errorf("clamp01(%v) = %v, want %v", in, got, want)
+		}
+	}
+	// NaN compares false against both clamp bounds; it must still map to a
+	// finite value, or buildManifests would tile NaN range boundaries.
+	if got := clamp01(math.NaN()); got != 0 {
+		t.Errorf("clamp01(NaN) = %v, want 0", got)
+	}
+}
+
+func TestManifestBoundariesFinite(t *testing.T) {
+	// Every hash-range boundary a solve hands to the data plane must be a
+	// finite value in [0, 1]: a single NaN boundary silently un-covers the
+	// unit for every probe.
+	inst, _ := testInstance(t, 3000)
+	plan, err := Solve(inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range plan.Manifests {
+		for ui, rs := range m.Ranges {
+			for _, rg := range rs {
+				if math.IsNaN(rg.Lo) || math.IsNaN(rg.Hi) || math.IsInf(rg.Lo, 0) || math.IsInf(rg.Hi, 0) {
+					t.Fatalf("node %d unit %d: non-finite range %v", m.Node, ui, rg)
+				}
+				if rg.Lo < 0 || rg.Hi > 1+1e-9 || rg.Lo > rg.Hi {
+					t.Fatalf("node %d unit %d: malformed range %v", m.Node, ui, rg)
+				}
+			}
+		}
+	}
+}

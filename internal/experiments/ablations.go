@@ -58,6 +58,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	em.Workers = cfg.Workers
 	coarse := em.RunFineGrained(bro.DeployCoordinated, false)
 	fine := em.RunFineGrained(bro.DeployCoordinated, true)
 	rows = append(rows,
@@ -77,7 +78,9 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 		RuleCapacityFraction: 0.3,
 		MatchSeed:            23,
 	})
-	dep, _, err := nips.Solve(ninst, nips.VariantRoundGreedyLP, 3, rand.New(rand.NewSource(4)))
+	dep, _, err := nips.Solve(ninst, nips.SolveOptions{
+		Variant: nips.VariantRoundGreedyLP, Iters: 3, Seed: 4, Workers: cfg.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}

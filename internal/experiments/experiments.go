@@ -12,13 +12,13 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"nwdeploy/internal/bro"
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/nips"
 	"nwdeploy/internal/online"
+	"nwdeploy/internal/parallel"
 	"nwdeploy/internal/topology"
 	"nwdeploy/internal/traffic"
 )
@@ -28,6 +28,11 @@ type Config struct {
 	// Quick selects reduced sizes (seconds per experiment); otherwise the
 	// full evaluation sizes are used (minutes).
 	Quick bool
+	// Workers sizes the worker pool each runner fans its independent work
+	// items out on: 0 selects GOMAXPROCS, 1 the serial legacy path. Every
+	// runner derives per-item RNGs from fixed seeds and merges results in
+	// canonical index order, so rows are byte-identical for every value.
+	Workers int
 }
 
 func (c Config) sessions(full int) int {
@@ -61,19 +66,19 @@ func Fig5(cfg Config) []Fig5Row {
 		Sessions: cfg.sessions(100000),
 		Seed:     51,
 	})
-	var rows []Fig5Row
-	for _, m := range bro.StandardModules() {
+	mods := bro.StandardModules()
+	return parallel.Map(cfg.Workers, len(mods), func(i int) Fig5Row {
+		m := mods[i]
 		pol := bro.MeasureOverhead(m, bro.ModeCoordPolicy, sessions)
 		evt := bro.MeasureOverhead(m, bro.ModeCoordEvent, sessions)
-		rows = append(rows, Fig5Row{
+		return Fig5Row{
 			Module:    m.Name,
 			PolicyCPU: pol.CPURatio,
 			EventCPU:  evt.CPURatio,
 			PolicyMem: pol.MemRatio,
 			EventMem:  evt.MemRatio,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -91,13 +96,15 @@ type ScalingRow struct {
 	CoordCPU float64
 }
 
-// runEmulation builds the scenario and runs both deployments.
-func runEmulation(modules []bro.ModuleSpec, sessions []traffic.Session) (edge, coord *bro.EmulationResult, err error) {
+// runEmulation builds the scenario and runs both deployments on the
+// configured worker pool.
+func runEmulation(cfg Config, modules []bro.ModuleSpec, sessions []traffic.Session) (edge, coord *bro.EmulationResult, err error) {
 	topo := topology.Internet2()
 	em, err := bro.NewEmulation(topo, modules, sessions, core.UniformCaps(topo.N(), 1e9, 1e12))
 	if err != nil {
 		return nil, nil, err
 	}
+	em.Workers = cfg.Workers
 	return em.Run(bro.DeployEdge), em.Run(bro.DeployCoordinated), nil
 }
 
@@ -115,7 +122,7 @@ func Fig6(cfg Config) ([]ScalingRow, error) {
 	var rows []ScalingRow
 	for _, n := range counts {
 		mods := bro.ModuleSubset(n + 1)[1:] // skip the baseline pseudo-module
-		edge, coord, err := runEmulation(mods, sessions)
+		edge, coord, err := runEmulation(cfg, mods, sessions)
 		if err != nil {
 			return nil, fmt.Errorf("fig6 at %d modules: %w", n, err)
 		}
@@ -139,7 +146,7 @@ func Fig7(cfg Config) ([]ScalingRow, error) {
 	var rows []ScalingRow
 	for _, v := range volumes {
 		sessions := traffic.Generate(topo, traffic.Gravity(topo), traffic.GenConfig{Sessions: v, Seed: 71})
-		edge, coord, err := runEmulation(mods, sessions)
+		edge, coord, err := runEmulation(cfg, mods, sessions)
 		if err != nil {
 			return nil, fmt.Errorf("fig7 at %d sessions: %w", v, err)
 		}
@@ -171,7 +178,7 @@ func Fig8(cfg Config) ([]Fig8Row, error) {
 		Sessions: cfg.sessions(100000), Seed: 81,
 	})
 	mods := bro.ModuleSubset(22)[1:]
-	edge, coord, err := runEmulation(mods, sessions)
+	edge, coord, err := runEmulation(cfg, mods, sessions)
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +266,9 @@ func NIPSOptTime(cfg Config) (OptTime, error) {
 		MatchSeed:            17,
 	})
 	start := time.Now()
-	dep, rel, err := nips.Solve(inst, nips.VariantRoundGreedyLP, 1, rand.New(rand.NewSource(2)))
+	dep, rel, err := nips.Solve(inst, nips.SolveOptions{
+		Variant: nips.VariantRoundGreedyLP, Iters: 1, Seed: 2, Workers: cfg.Workers,
+	})
 	if err != nil {
 		return OptTime{}, err
 	}
@@ -272,7 +281,9 @@ func NIPSOptTime(cfg Config) (OptTime, error) {
 	}, nil
 }
 
-// truncateMatrix keeps the top-k pairs of the matrix, renormalized.
+// truncateMatrix keeps the top-k pairs of the matrix, renormalized. A
+// matrix whose top-k pairs carry no mass (all-zero demand, or k <= 0)
+// yields the zero matrix rather than NaN entries from a 0/0 division.
 func truncateMatrix(m traffic.Matrix, k int) traffic.Matrix {
 	pairs := m.TopPairs(k)
 	out := make(traffic.Matrix, len(m))
@@ -282,6 +293,9 @@ func truncateMatrix(m traffic.Matrix, k int) traffic.Matrix {
 	var sum float64
 	for _, p := range pairs {
 		sum += m[p[0]][p[1]]
+	}
+	if sum <= 0 {
+		return out
 	}
 	for _, p := range pairs {
 		out[p[0]][p[1]] = m[p[0]][p[1]] / sum
@@ -337,37 +351,77 @@ func Fig10(cfg Config) ([]Fig10Row, error) {
 		capFracs = []float64{0.05, 0.15, 0.25}
 	}
 	variants := []nips.Variant{nips.VariantRoundLP, nips.VariantRoundGreedyLP}
+	topos := Fig10Topologies(cfg)
+
+	// One grid cell per (topology, capacity fraction, scenario). Cells are
+	// RNG-independent — each derives its rounding seeds from its own
+	// scenario and variant indices — so they fan out on the worker pool and
+	// the per-(topology, fraction, variant) aggregates are folded serially
+	// in canonical order afterwards, keeping rows byte-identical for every
+	// worker count.
+	type cell struct{ ti, fi, s int }
+	var cells []cell
+	for ti := range topos {
+		for fi := range capFracs {
+			for s := 0; s < scenarios; s++ {
+				cells = append(cells, cell{ti, fi, s})
+			}
+		}
+	}
+	cellWorkers := parallel.Resolve(cfg.Workers, len(cells))
+	// When the grid saturates the pool, keep each cell's rounding sweep
+	// serial; a lone cell worker instead parallelizes inside the solve.
+	solveWorkers := 1
+	if cellWorkers == 1 {
+		solveWorkers = cfg.Workers
+	}
+	ratios, err := parallel.MapErr(cellWorkers, len(cells), func(ci int) ([]float64, error) {
+		c := cells[ci]
+		topo := topos[c.ti]
+		inst := nips.NewInstance(topo, nips.UnitRules(rules), nips.Config{
+			MaxPaths:             paths,
+			RuleCapacityFraction: capFracs[c.fi],
+			MatchSeed:            int64(1000*c.s + 7),
+		})
+		rel, err := nips.SolveRelaxation(inst)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s cap=%.2f scenario %d: %w", topo.Name, capFracs[c.fi], c.s, err)
+		}
+		out := make([]float64, len(variants))
+		for vi, v := range variants {
+			dep, err := nips.SolveFromRelaxation(inst, rel, nips.SolveOptions{
+				Variant: v, Iters: iters,
+				Seed:    int64(31*c.s + int(v) + 1),
+				Workers: solveWorkers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out[vi] = dep.Objective / rel.Objective
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig10Row
-	for _, topo := range Fig10Topologies(cfg) {
+	ci := 0
+	for _, topo := range topos {
 		for _, frac := range capFracs {
-			stats := map[nips.Variant]*agg{}
-			for _, v := range variants {
-				stats[v] = newAgg()
+			stats := make([]*agg, len(variants))
+			for vi := range variants {
+				stats[vi] = newAgg()
 			}
 			for s := 0; s < scenarios; s++ {
-				inst := nips.NewInstance(topo, nips.UnitRules(rules), nips.Config{
-					MaxPaths:             paths,
-					RuleCapacityFraction: frac,
-					MatchSeed:            int64(1000*s + 7),
-				})
-				rel, err := nips.SolveRelaxation(inst)
-				if err != nil {
-					return nil, fmt.Errorf("fig10 %s cap=%.2f scenario %d: %w", topo.Name, frac, s, err)
+				for vi := range variants {
+					stats[vi].add(ratios[ci][vi])
 				}
-				for _, v := range variants {
-					rng := rand.New(rand.NewSource(int64(31*s + int(v) + 1)))
-					dep, err := nips.SolveFromRelaxation(inst, rel, v, iters, rng)
-					if err != nil {
-						return nil, err
-					}
-					stats[v].add(dep.Objective / rel.Objective)
-				}
+				ci++
 			}
-			for _, v := range variants {
-				a := stats[v]
+			for vi, v := range variants {
 				rows = append(rows, Fig10Row{
 					Topology: topo.Name, CapFrac: frac, Variant: v,
-					Mean: a.mean(), Min: a.min, Max: a.max,
+					Mean: stats[vi].mean(), Min: stats[vi].min, Max: stats[vi].max,
 				})
 			}
 		}
@@ -392,37 +446,72 @@ func Fig10Robustness(cfg Config) ([]Fig10RobustnessRow, error) {
 		scenarios, iters = 2, 3
 	}
 	variants := []nips.Variant{nips.VariantRoundLP, nips.VariantRoundGreedyLP}
+	dists := []traffic.MatchDist{traffic.DistUniform, traffic.DistExponential, traffic.DistBimodal}
+
+	// Same (distribution × scenario) grid fan-out as Fig10; a cell whose
+	// relaxation has zero objective returns nil ratios and is skipped in
+	// the fold, matching the serial loop's continue.
+	type cell struct{ di, s int }
+	var cells []cell
+	for di := range dists {
+		for s := 0; s < scenarios; s++ {
+			cells = append(cells, cell{di, s})
+		}
+	}
+	cellWorkers := parallel.Resolve(cfg.Workers, len(cells))
+	solveWorkers := 1
+	if cellWorkers == 1 {
+		solveWorkers = cfg.Workers
+	}
+	ratios, err := parallel.MapErr(cellWorkers, len(cells), func(ci int) ([]float64, error) {
+		c := cells[ci]
+		inst := nips.NewInstance(topology.Internet2(), nips.UnitRules(rules), nips.Config{
+			MaxPaths:             paths,
+			RuleCapacityFraction: 0.15,
+			MatchSeed:            int64(500*c.s + 11),
+			MatchDist:            dists[c.di],
+		})
+		rel, err := nips.SolveRelaxation(inst)
+		if err != nil {
+			return nil, fmt.Errorf("fig10robustness %v scenario %d: %w", dists[c.di], c.s, err)
+		}
+		if rel.Objective <= 0 {
+			return nil, nil
+		}
+		out := make([]float64, len(variants))
+		for vi, v := range variants {
+			dep, err := nips.SolveFromRelaxation(inst, rel, nips.SolveOptions{
+				Variant: v, Iters: iters,
+				Seed:    int64(13*c.s + int(v) + 1),
+				Workers: solveWorkers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out[vi] = dep.Objective / rel.Objective
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig10RobustnessRow
-	for _, dist := range []traffic.MatchDist{traffic.DistUniform, traffic.DistExponential, traffic.DistBimodal} {
-		stats := map[nips.Variant]*agg{}
-		for _, v := range variants {
-			stats[v] = newAgg()
+	ci := 0
+	for _, dist := range dists {
+		stats := make([]*agg, len(variants))
+		for vi := range variants {
+			stats[vi] = newAgg()
 		}
 		for s := 0; s < scenarios; s++ {
-			inst := nips.NewInstance(topology.Internet2(), nips.UnitRules(rules), nips.Config{
-				MaxPaths:             paths,
-				RuleCapacityFraction: 0.15,
-				MatchSeed:            int64(500*s + 11),
-				MatchDist:            dist,
-			})
-			rel, err := nips.SolveRelaxation(inst)
-			if err != nil {
-				return nil, fmt.Errorf("fig10robustness %v scenario %d: %w", dist, s, err)
-			}
-			if rel.Objective <= 0 {
-				continue
-			}
-			for _, v := range variants {
-				rng := rand.New(rand.NewSource(int64(13*s + int(v) + 1)))
-				dep, err := nips.SolveFromRelaxation(inst, rel, v, iters, rng)
-				if err != nil {
-					return nil, err
+			if ratios[ci] != nil {
+				for vi := range variants {
+					stats[vi].add(ratios[ci][vi])
 				}
-				stats[v].add(dep.Objective / rel.Objective)
 			}
+			ci++
 		}
-		for _, v := range variants {
-			rows = append(rows, Fig10RobustnessRow{Dist: dist, Variant: v, Mean: stats[v].mean()})
+		for vi, v := range variants {
+			rows = append(rows, Fig10RobustnessRow{Dist: dist, Variant: v, Mean: stats[vi].mean()})
 		}
 	}
 	return rows, nil
@@ -474,19 +563,19 @@ func Fig11(cfg Config) ([]Fig11Row, error) {
 		RuleCapacityFraction: 1, // no TCAM constraint in Section 3.5
 		MatchSeed:            3,
 	})
-	var rows []Fig11Row
-	for r := 0; r < runs; r++ {
+	// Runs are independent by construction (each owns its seed), so they
+	// fan out on the worker pool; rows keep run order.
+	return parallel.MapErr(cfg.Workers, runs, func(r int) (Fig11Row, error) {
 		series, err := online.Run(inst, online.RunConfig{
 			Epochs:      epochs,
 			SampleEvery: sampleEvery,
 			Seed:        int64(1000 + 77*r),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig11 run %d: %w", r, err)
+			return Fig11Row{}, fmt.Errorf("fig11 run %d: %w", r, err)
 		}
-		rows = append(rows, Fig11Row{Run: r + 1, Series: series})
-	}
-	return rows, nil
+		return Fig11Row{Run: r + 1, Series: series}, nil
+	})
 }
 
 // ---------------------------------------------------------------------------

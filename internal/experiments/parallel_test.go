@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"nwdeploy/internal/traffic"
+)
+
+// TestTruncateMatrixZeroMass: a demand matrix whose top pairs carry no mass
+// must truncate to the zero matrix, not to NaN entries from a 0/0
+// renormalization (NaN volumes would silently poison every downstream
+// instance built from the matrix).
+func TestTruncateMatrixZeroMass(t *testing.T) {
+	zero := make(traffic.Matrix, 4)
+	for a := range zero {
+		zero[a] = make([]float64, 4)
+	}
+	out := truncateMatrix(zero, 3)
+	if len(out) != 4 {
+		t.Fatalf("matrix shape changed: %d rows", len(out))
+	}
+	for a := range out {
+		for b, v := range out[a] {
+			if v != 0 {
+				t.Fatalf("entry (%d,%d) = %v, want 0", a, b, v)
+			}
+			if math.IsNaN(v) {
+				t.Fatalf("entry (%d,%d) is NaN", a, b)
+			}
+		}
+	}
+	// k <= 0 selects no pairs and must behave the same way.
+	nonzero := make(traffic.Matrix, 2)
+	nonzero[0] = []float64{0, 1}
+	nonzero[1] = []float64{1, 0}
+	for _, v := range truncateMatrix(nonzero, 0)[0] {
+		if math.IsNaN(v) {
+			t.Fatal("k=0 truncation produced NaN")
+		}
+	}
+}
+
+// The experiment grids must produce byte-identical rows for every worker
+// count: parallelism is an execution detail, never a source of numeric or
+// ordering drift.
+
+func TestFig5WorkersDeterminism(t *testing.T) {
+	serial := Fig5(Config{Quick: true, Workers: 1})
+	fanned := Fig5(Config{Quick: true, Workers: 4})
+	if !reflect.DeepEqual(serial, fanned) {
+		t.Fatalf("Fig5 rows depend on worker count:\nserial: %+v\nfanned: %+v", serial, fanned)
+	}
+}
+
+func TestFig10WorkersDeterminism(t *testing.T) {
+	serial, err := Fig10(Config{Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanned, err := Fig10(Config{Quick: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, fanned) {
+		t.Fatalf("Fig10 rows depend on worker count:\nserial: %+v\nfanned: %+v", serial, fanned)
+	}
+}
+
+func TestFig11WorkersDeterminism(t *testing.T) {
+	serial, err := Fig11(Config{Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanned, err := Fig11(Config{Quick: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, fanned) {
+		t.Fatal("Fig11 regret series depend on worker count")
+	}
+}

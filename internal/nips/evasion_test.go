@@ -8,7 +8,7 @@ import (
 func evasionDeployment(t *testing.T) (*Instance, *Deployment) {
 	t.Helper()
 	inst := smallInstance(t, 6, 10, 0.3)
-	dep, _, err := Solve(inst, VariantRoundGreedyLP, 3, rand.New(rand.NewSource(8)))
+	dep, _, err := Solve(inst, SolveOptions{Variant: VariantRoundGreedyLP, Iters: 3, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -117,7 +117,7 @@ func ApproximationGap(inst *Instance, variant Variant, iters int, seed int64) (g
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	approx, _, err = Solve(inst, variant, iters, newSeededRand(seed))
+	approx, _, err = Solve(inst, SolveOptions{Variant: variant, Iters: iters, Seed: seed, Workers: 1})
 	if err != nil {
 		return 0, nil, nil, err
 	}

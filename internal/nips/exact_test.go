@@ -1,7 +1,6 @@
 package nips
 
 import (
-	"math/rand"
 	"testing"
 
 	"nwdeploy/internal/topology"
@@ -50,7 +49,7 @@ func TestExactRespectsConstraintsAndBeatsRounding(t *testing.T) {
 		}
 		// Every approximation variant is bounded by the exact optimum.
 		for _, v := range []Variant{VariantBasic, VariantRoundLP, VariantRoundGreedyLP} {
-			dep, err := SolveFromRelaxation(inst, rel, v, 3, rand.New(rand.NewSource(7)))
+			dep, err := SolveFromRelaxation(inst, rel, SolveOptions{Variant: v, Iters: 3, Seed: 7})
 			if err != nil {
 				t.Fatal(err)
 			}

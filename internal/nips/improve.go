@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"nwdeploy/internal/lp"
+	"nwdeploy/internal/parallel"
 )
 
 // ResolveLP replaces a deployment's d values by the optimal ones for its
@@ -168,47 +169,84 @@ func (v Variant) String() string {
 	return fmt.Sprintf("Variant(%d)", int(v))
 }
 
+// SolveOptions parameterizes Solve and SolveFromRelaxation.
+type SolveOptions struct {
+	// Variant selects the rounding/improvement pipeline.
+	Variant Variant
+	// Iters is the number of independent rounding iterations; the best
+	// deployment across them is returned (0 selects 1).
+	Iters int
+	// Seed is the root of the per-iteration RNG derivation: iteration it
+	// draws from rand.New(rand.NewSource(parallel.SplitSeed(Seed, it))),
+	// never from a shared *rand.Rand. The result is therefore a pure
+	// function of (instance, relaxation, options) regardless of Workers.
+	Seed int64
+	// Workers fans the iterations out across a worker pool: 0 selects
+	// GOMAXPROCS, 1 is the serial path. Serial and parallel runs produce
+	// byte-identical deployments for the same Seed.
+	Workers int
+}
+
 // Solve runs the requested variant: it solves the relaxation once, performs
-// iters independent rounding trials, improves each per the variant, and
+// opts.Iters independent rounding trials, improves each per the variant, and
 // returns the best deployment together with the LP upper bound. This is the
 // paper's evaluation procedure ("we run 10 iterations of the
 // rounding-based algorithms and take the best solution across these 10
 // runs").
-func Solve(inst *Instance, variant Variant, iters int, rng *rand.Rand) (*Deployment, *Relaxation, error) {
+func Solve(inst *Instance, opts SolveOptions) (*Deployment, *Relaxation, error) {
 	rel, err := SolveRelaxation(inst)
 	if err != nil {
 		return nil, nil, err
 	}
-	dep, err := SolveFromRelaxation(inst, rel, variant, iters, rng)
+	dep, err := SolveFromRelaxation(inst, rel, opts)
 	return dep, rel, err
 }
 
 // SolveFromRelaxation is Solve for callers that already hold the
 // relaxation (the evaluation reuses one relaxation across variants).
-func SolveFromRelaxation(inst *Instance, rel *Relaxation, variant Variant, iters int, rng *rand.Rand) (*Deployment, error) {
+//
+// Each iteration is independent — its RNG is derived from opts.Seed and the
+// iteration index — so the iterations run on the worker pool and the best
+// deployment is selected in iteration order (strict improvement), making
+// the winner identical whether the sweep ran on one worker or many.
+func SolveFromRelaxation(inst *Instance, rel *Relaxation, opts SolveOptions) (*Deployment, error) {
+	iters := opts.Iters
 	if iters <= 0 {
 		iters = 1
 	}
+	deps, err := parallel.MapErr(opts.Workers, iters, func(it int) (*Deployment, error) {
+		return solveOneIteration(inst, rel, opts.Variant, newSeededRand(parallel.SplitSeed(opts.Seed, int64(it))))
+	})
+	if err != nil {
+		return nil, err
+	}
 	var best *Deployment
-	for it := 0; it < iters; it++ {
-		dep, err := Round(inst, rel, RoundConfig{}, rng)
-		if err != nil {
-			return nil, err
-		}
-		switch variant {
-		case VariantRoundLP:
-			if err := ResolveLP(inst, dep); err != nil {
-				return nil, err
-			}
-		case VariantRoundGreedyLP:
-			GreedyFill(inst, dep)
-			if err := ResolveLP(inst, dep); err != nil {
-				return nil, err
-			}
-		}
+	for _, dep := range deps {
 		if best == nil || dep.Objective > best.Objective {
 			best = dep
 		}
 	}
 	return best, nil
+}
+
+// solveOneIteration performs one rounding trial plus the variant's
+// improvement steps. Only Round consumes randomness; GreedyFill and
+// ResolveLP are deterministic.
+func solveOneIteration(inst *Instance, rel *Relaxation, variant Variant, rng *rand.Rand) (*Deployment, error) {
+	dep, err := Round(inst, rel, RoundConfig{}, rng)
+	if err != nil {
+		return nil, err
+	}
+	switch variant {
+	case VariantRoundLP:
+		if err := ResolveLP(inst, dep); err != nil {
+			return nil, err
+		}
+	case VariantRoundGreedyLP:
+		GreedyFill(inst, dep)
+		if err := ResolveLP(inst, dep); err != nil {
+			return nil, err
+		}
+	}
+	return dep, nil
 }

@@ -245,8 +245,11 @@ func SolveRelaxation(inst *Instance) (*Relaxation, error) {
 	return rel, nil
 }
 
+// clamp01 confines a solver value to [0, 1]. NaN maps to 0: both x < 0 and
+// x > 1 are false for NaN, so without the explicit check a degenerate solver
+// tolerance would smuggle NaN into the relaxation values.
 func clamp01(x float64) float64 {
-	if x < 0 {
+	if math.IsNaN(x) || x < 0 {
 		return 0
 	}
 	if x > 1 {

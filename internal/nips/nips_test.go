@@ -120,8 +120,8 @@ func TestVariantsImproveMonotonically(t *testing.T) {
 		t.Fatal(err)
 	}
 	get := func(v Variant) float64 {
-		rng := rand.New(rand.NewSource(42)) // identical rounding draws
-		dep, err := SolveFromRelaxation(inst, rel, v, 3, rng)
+		// Identical Seed across variants means identical rounding draws.
+		dep, err := SolveFromRelaxation(inst, rel, SolveOptions{Variant: v, Iters: 3, Seed: 42, Workers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,7 +146,7 @@ func TestVariantsImproveMonotonically(t *testing.T) {
 
 func TestSolveEndToEnd(t *testing.T) {
 	inst := smallInstance(t, 6, 10, 0.2)
-	dep, rel, err := Solve(inst, VariantRoundGreedyLP, 2, rand.New(rand.NewSource(3)))
+	dep, rel, err := Solve(inst, SolveOptions{Variant: VariantRoundGreedyLP, Iters: 2, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestResolveLPOnEmptyEnablement(t *testing.T) {
 
 func TestDataPlaneAgreesWithObjective(t *testing.T) {
 	inst := smallInstance(t, 6, 10, 0.2)
-	dep, _, err := Solve(inst, VariantRoundGreedyLP, 2, rand.New(rand.NewSource(5)))
+	dep, _, err := Solve(inst, SolveOptions{Variant: VariantRoundGreedyLP, Iters: 2, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +305,7 @@ func TestQuickRoundingAlwaysFeasible(t *testing.T) {
 			return false
 		}
 		for _, v := range []Variant{VariantBasic, VariantRoundLP, VariantRoundGreedyLP} {
-			dep, err := SolveFromRelaxation(inst, rel, v, 2, rng)
+			dep, err := SolveFromRelaxation(inst, rel, SolveOptions{Variant: v, Iters: 2, Seed: rng.Int63()})
 			if err != nil {
 				return false
 			}

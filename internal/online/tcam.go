@@ -26,6 +26,11 @@ type TCAMAdapter struct {
 	Eps float64
 	// Iters is the rounding iterations Lambda uses per epoch.
 	Iters int
+	// Workers fans Lambda's rounding iterations out across a worker pool
+	// (0 = GOMAXPROCS, 1 = serial). The decision sequence is identical for
+	// every worker count: each epoch's iterations draw from seeds derived
+	// off the adapter's own RNG stream, never from a shared *rand.Rand.
+	Workers int
 
 	cum [][]float64
 	rng *rand.Rand
@@ -70,7 +75,12 @@ func (a *TCAMAdapter) perturbedInstance() *nips.Instance {
 // Decide returns this epoch's integral deployment: Lambda (relaxation +
 // rounding + greedy + LP re-solve) on the perturbed historical state.
 func (a *TCAMAdapter) Decide() (*nips.Deployment, error) {
-	dep, _, err := nips.Solve(a.perturbedInstance(), nips.VariantRoundGreedyLP, a.Iters, a.rng)
+	dep, _, err := nips.Solve(a.perturbedInstance(), nips.SolveOptions{
+		Variant: nips.VariantRoundGreedyLP,
+		Iters:   a.Iters,
+		Seed:    a.rng.Int63(),
+		Workers: a.Workers,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("online: TCAM Lambda: %w", err)
 	}
@@ -121,7 +131,9 @@ func BestStaticTCAM(inst *nips.Instance, epochs [][][]float64, iters int, seed i
 		}
 	}
 	clone.M = sum
-	dep, _, err := nips.Solve(&clone, nips.VariantRoundGreedyLP, iters, rand.New(rand.NewSource(seed)))
+	dep, _, err := nips.Solve(&clone, nips.SolveOptions{
+		Variant: nips.VariantRoundGreedyLP, Iters: iters, Seed: seed,
+	})
 	if err != nil {
 		return nil, 0, err
 	}

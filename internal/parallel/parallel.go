@@ -1,0 +1,110 @@
+// Package parallel is the worker-pool layer shared by the emulation and
+// solver sweep engines. It provides deterministic fan-out over independent
+// work items: results land in index-addressed slots and are merged in index
+// order, so for a fixed input the output is byte-identical no matter how
+// many workers raced (including the workers == 1 serial path).
+//
+// The determinism contract (documented in DESIGN.md) has two halves:
+//
+//   - The pool guarantees index-ordered merging and inline execution when
+//     workers == 1.
+//   - The callee guarantees each work item is a pure function of its index:
+//     no shared mutable state, and any randomness derived per item via
+//     SplitSeed rather than drawn from a shared *rand.Rand (which is both
+//     racy and schedule-dependent).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a Workers knob to a concrete worker count: 0 (the default)
+// selects GOMAXPROCS, negative values are treated as 1, and the count is
+// never larger than n (spawning more workers than items buys nothing).
+func Resolve(workers, n int) int {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if n >= 0 && workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n). With a resolved worker count of
+// 1 it runs inline on the calling goroutine — the legacy serial path, with
+// no goroutines and no synchronization. Otherwise items are handed out via
+// an atomic counter so uneven per-item cost self-balances. fn must confine
+// its writes to state owned by item i.
+func ForEach(workers, n int, fn func(i int)) {
+	w := Resolve(workers, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every index in [0, n) and returns the results in index
+// order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// MapErr is Map for fallible work. Every item runs to completion; if any
+// failed, the error of the lowest failing index is returned (with a nil
+// slice), so the reported failure does not depend on goroutine scheduling.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SplitSeed derives the child seed for work item stream of a parent seed
+// (SplitMix64 finalization over the golden-ratio increment). Child streams
+// are statistically independent of each other and of the parent, which is
+// what lets every work item own a private rand.Rand while the whole sweep
+// stays reproducible from one seed.
+func SplitSeed(seed, stream int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(stream)+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

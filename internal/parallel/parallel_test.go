@@ -1,0 +1,124 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	cases := []struct {
+		workers, n, want int
+	}{
+		{0, 1 << 30, runtime.GOMAXPROCS(0)},
+		{1, 100, 1},
+		{4, 100, 4},
+		{-3, 100, 1},
+		{8, 3, 3},
+		{8, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.workers, c.n); got != c.want {
+			t.Errorf("Resolve(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 16} {
+		const n = 1000
+		hits := make([]atomic.Int32, n)
+		ForEach(w, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, got)
+			}
+		}
+	}
+}
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	square := func(i int) int { return i * i }
+	serial := Map(1, 50, square)
+	for _, w := range []int{2, 4, 7} {
+		if got := Map(w, 50, square); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d: %v != serial %v", w, got, serial)
+		}
+	}
+}
+
+func TestMapErrReportsLowestIndex(t *testing.T) {
+	errAt := func(bad ...int) func(int) (int, error) {
+		set := map[int]bool{}
+		for _, b := range bad {
+			set[b] = true
+		}
+		return func(i int) (int, error) {
+			if set[i] {
+				return 0, fmt.Errorf("item %d failed", i)
+			}
+			return i, nil
+		}
+	}
+	for _, w := range []int{1, 4} {
+		if _, err := MapErr(w, 20, errAt(13, 5, 17)); err == nil || err.Error() != "item 5 failed" {
+			t.Fatalf("workers=%d: err = %v, want item 5 failed", w, err)
+		}
+		out, err := MapErr(w, 20, errAt())
+		if err != nil || len(out) != 20 || out[19] != 19 {
+			t.Fatalf("workers=%d: clean run got (%v, %v)", w, out, err)
+		}
+	}
+}
+
+func TestSplitSeedStreamsAreDistinctAndStable(t *testing.T) {
+	seen := map[int64]int64{}
+	for stream := int64(0); stream < 10000; stream++ {
+		s := SplitSeed(42, stream)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("streams %d and %d collide on seed %d", prev, stream, s)
+		}
+		seen[s] = stream
+	}
+	if SplitSeed(42, 3) != SplitSeed(42, 3) {
+		t.Fatal("SplitSeed is not a pure function")
+	}
+	if SplitSeed(42, 3) == SplitSeed(43, 3) {
+		t.Fatal("parent seed ignored")
+	}
+}
+
+// TestDerivedRNGsAreIndependentUnderRace exercises the intended usage under
+// the race detector: one derived rand.Rand per work item, none shared.
+func TestDerivedRNGsAreIndependentUnderRace(t *testing.T) {
+	const n = 64
+	draw := func(i int) float64 {
+		rng := rand.New(rand.NewSource(SplitSeed(7, int64(i))))
+		var sum float64
+		for k := 0; k < 100; k++ {
+			sum += rng.Float64()
+		}
+		return sum
+	}
+	serial := Map(1, n, draw)
+	parallelRun := Map(8, n, draw)
+	if !reflect.DeepEqual(serial, parallelRun) {
+		t.Fatal("per-item derived RNG draws differ between serial and parallel runs")
+	}
+}
+
+func TestMapErrNilOnFailure(t *testing.T) {
+	out, err := MapErr(4, 10, func(i int) (int, error) {
+		if i == 9 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("got (%v, %v), want nil slice and error", out, err)
+	}
+}

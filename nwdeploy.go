@@ -33,8 +33,6 @@
 package nwdeploy
 
 import (
-	"math/rand"
-
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/hashing"
 	"nwdeploy/internal/nips"
@@ -170,9 +168,11 @@ func BuildNIPSInstance(t *Topology, rules []Rule, cfg NIPSConfig) *NIPSInstance 
 
 // PlanNIPS runs the selected approximation variant with the given number
 // of independent rounding iterations and returns the best deployment
-// together with the LP upper bound it is measured against.
+// together with the LP upper bound it is measured against. The rounding
+// sweep runs on a GOMAXPROCS-sized worker pool; the result is identical to
+// a serial sweep for the same seed (see nips.SolveOptions).
 func PlanNIPS(inst *NIPSInstance, variant NIPSVariant, iters int, seed int64) (*NIPSDeployment, float64, error) {
-	dep, rel, err := nips.Solve(inst, variant, iters, rand.New(rand.NewSource(seed)))
+	dep, rel, err := nips.Solve(inst, nips.SolveOptions{Variant: variant, Iters: iters, Seed: seed})
 	if err != nil {
 		return nil, 0, err
 	}
