@@ -2,8 +2,9 @@ GO ?= go
 
 .PHONY: check race bench vet test build
 
-# Tier-1 verification: everything must build and the full test suite pass.
-check: build test
+# Tier-1 verification: everything must build, vet cleanly, and the full
+# test suite pass.
+check: build vet test
 
 build:
 	$(GO) build ./...
@@ -21,5 +22,12 @@ vet:
 race: vet
 	$(GO) test -race ./...
 
+# Bench tier: every figure/table benchmark plus the obs micro-benchmarks,
+# with allocation reporting. Also replays the quick experiment suite with a
+# live registry and leaves its metrics snapshot in BENCH_obs.json — solver
+# pivot counts, rounding trials, emulation wall time — as a machine-readable
+# profile of the run.
 bench:
 	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./internal/obs/
+	$(GO) run ./cmd/experiments -quick -metrics BENCH_obs.json >/dev/null

@@ -180,7 +180,7 @@ func BenchmarkManifestCheck(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	plan, err := PlanNIDS(inst, 1)
+	plan, err := PlanNIDS(inst, NIDSOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -256,6 +256,32 @@ func BenchmarkParallelEmulation(b *testing.B) {
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			cfg := experiments.Config{Quick: true, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig7(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkObsOverhead reruns the Figure 7 emulation with a live metrics
+// registry attached, against the metrics=off sub-benchmark as baseline.
+// The instrumentation contract is that the two stay within measurement
+// noise of each other (the per-session loop is untouched; aggregates are
+// recorded only at run boundaries), so a visible gap here means a counter
+// crept into a hot path.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, withMetrics := range []bool{false, true} {
+		name := "metrics=off"
+		if withMetrics {
+			name = "metrics=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := experiments.Config{Quick: true, Workers: 1}
+			if withMetrics {
+				cfg.Metrics = NewMetrics()
+			}
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.Fig7(cfg); err != nil {
 					b.Fatal(err)

@@ -8,6 +8,7 @@
 //
 //	controller -listen 127.0.0.1:7117 [-topology internet2] [-sessions 20000]
 //	           [-interval 5m] [-hashkey 1234] [-once]
+//	           [-metrics run.json] [-pprof 127.0.0.1:6060]
 //
 // Agents (internal/control.Agent) poll the epoch and refetch manifests
 // when it changes. With -once the daemon solves a single plan and serves
@@ -25,6 +26,8 @@ import (
 	"nwdeploy/internal/bro"
 	"nwdeploy/internal/control"
 	"nwdeploy/internal/core"
+	"nwdeploy/internal/obs"
+	"nwdeploy/internal/obs/obshttp"
 	"nwdeploy/internal/topology"
 	"nwdeploy/internal/traffic"
 )
@@ -40,7 +43,26 @@ func main() {
 	once := flag.Bool("once", false, "solve once and serve; no re-optimization loop")
 	cpuCap := flag.Float64("cpucap", 1e7, "per-node CPU capacity")
 	memCap := flag.Float64("memcap", 1e9, "per-node memory capacity")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file on shutdown")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /debug/vars, and /metrics on this address")
 	flag.Parse()
+
+	metrics := obs.New()
+	metrics.Publish("nwdeploy")
+	if *pprofAddr != "" {
+		go func() {
+			if err := obshttp.Serve(*pprofAddr, metrics); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+	if *metricsPath != "" {
+		defer func() {
+			if err := metrics.WriteFile(*metricsPath); err != nil {
+				log.Printf("writing metrics: %v", err)
+			}
+		}()
+	}
 
 	var topo *topology.Topology
 	switch *topoName {
@@ -71,10 +93,13 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		return core.Solve(inst, 1)
+		return core.SolveOpts(inst, core.SolveOptions{Redundancy: 1, Metrics: metrics})
 	}
 
-	ctrl, err := control.NewController(*listen, uint32(*hashKey))
+	ctrl, err := control.NewControllerOpts(*listen, control.ControllerOptions{
+		HashKey: uint32(*hashKey),
+		Metrics: metrics,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

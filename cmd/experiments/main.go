@@ -4,6 +4,7 @@
 // Usage:
 //
 //	experiments [-quick] [-workers n] [-only fig5,fig6,fig7,fig8,fig10,fig11,opttime,redundancy,ablations,adversaries]
+//	            [-metrics run.json] [-pprof 127.0.0.1:6060]
 //
 // With -quick the reduced workload sizes are used (seconds per experiment);
 // without it the full evaluation sizes run (several minutes on one core —
@@ -11,7 +12,9 @@
 // 1 = serial); the output is byte-identical for every value. Each block is
 // prefixed by a "# figure" header naming the paper artifact it reproduces
 // and the workload parameters, so the output can be diffed across runs and
-// fed straight to a plotter.
+// fed straight to a plotter. -metrics dumps the suite's accumulated solver
+// and emulation counters as JSON on exit; -pprof serves live profiling and
+// /metrics while the suite runs.
 package main
 
 import (
@@ -22,6 +25,8 @@ import (
 	"strings"
 
 	"nwdeploy/internal/experiments"
+	"nwdeploy/internal/obs"
+	"nwdeploy/internal/obs/obshttp"
 	"nwdeploy/internal/parallel"
 )
 
@@ -39,7 +44,19 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	only := flag.String("only", "", "comma-separated subset of experiments to run")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /debug/vars, and /metrics on this address")
 	flag.Parse()
+
+	metrics := obs.New()
+	metrics.Publish("nwdeploy")
+	if *pprofAddr != "" {
+		go func() {
+			if err := obshttp.Serve(*pprofAddr, metrics); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -72,7 +89,7 @@ func main() {
 	// run at once, each keeps its inner sweeps serial so the pool is not
 	// oversubscribed. A lone block gets the whole pool for its sweeps.
 	runnerWorkers := parallel.Resolve(*workers, len(selected))
-	cfg := experiments.Config{Quick: *quick, Workers: *workers}
+	cfg := experiments.Config{Quick: *quick, Workers: *workers, Metrics: metrics}
 	if runnerWorkers > 1 {
 		cfg.Workers = 1
 	}
@@ -88,6 +105,11 @@ func main() {
 	}
 	for _, out := range outputs {
 		os.Stdout.WriteString(out)
+	}
+	if *metricsPath != "" {
+		if err := metrics.WriteFile(*metricsPath); err != nil {
+			log.Fatalf("writing metrics: %v", err)
+		}
 	}
 }
 

@@ -8,6 +8,11 @@
 //	nwdeploy -mode manifest [-spec scenario.json] [-node j]
 //	nwdeploy -mode whatif [-spec scenario.json] [-factor 2.0]
 //
+// All modes additionally accept -metrics <file> to dump a JSON snapshot of
+// the run's solver counters and timing histograms on exit, and
+// -pprof <addr> to serve /debug/pprof, /debug/vars, and /metrics while the
+// command runs.
+//
 // Without -spec a built-in Internet2 demonstration scenario is used. The
 // spec format is documented on the Spec type; `nwdeploy -print-spec` emits
 // the default spec as a starting point.
@@ -26,6 +31,8 @@ import (
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/hashing"
 	"nwdeploy/internal/nips"
+	"nwdeploy/internal/obs"
+	"nwdeploy/internal/obs/obshttp"
 	"nwdeploy/internal/topology"
 	"nwdeploy/internal/traffic"
 )
@@ -102,7 +109,26 @@ func main() {
 	factor := flag.Float64("factor", 2.0, "capacity multiplier for what-if upgrades (mode whatif)")
 	workers := flag.Int("workers", 0, "worker pool size for the NIPS rounding sweep (0 = GOMAXPROCS, 1 = serial)")
 	printSpec := flag.Bool("print-spec", false, "emit the default spec as JSON and exit")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /debug/vars, and /metrics on this address")
 	flag.Parse()
+
+	metrics := obs.New()
+	metrics.Publish("nwdeploy")
+	if *pprofAddr != "" {
+		go func() {
+			if err := obshttp.Serve(*pprofAddr, metrics); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+	if *metricsPath != "" {
+		defer func() {
+			if err := metrics.WriteFile(*metricsPath); err != nil {
+				log.Printf("writing metrics: %v", err)
+			}
+		}()
+	}
 
 	spec := defaultSpec()
 	if *printSpec {
@@ -133,13 +159,13 @@ func main() {
 
 	switch *mode {
 	case "nids":
-		runNIDS(topo, spec, *redundancy, false, 0)
+		runNIDS(topo, spec, *redundancy, false, 0, metrics)
 	case "manifest":
-		runNIDS(topo, spec, *redundancy, true, *node)
+		runNIDS(topo, spec, *redundancy, true, *node, metrics)
 	case "nips":
-		runNIPS(topo, spec, *variant, *iters)
+		runNIPS(topo, spec, *variant, *iters, metrics)
 	case "whatif":
-		runWhatIf(topo, spec, *redundancy, *factor)
+		runWhatIf(topo, spec, *redundancy, *factor, metrics)
 	case "dot":
 		if err := topo.WriteDOT(os.Stdout); err != nil {
 			log.Fatal(err)
@@ -195,7 +221,7 @@ func buildTopology(spec Spec) (*topology.Topology, error) {
 	return nil, fmt.Errorf("unknown topology %q", spec.Topology)
 }
 
-func runNIDS(topo *topology.Topology, spec Spec, r int, manifestOnly bool, node int) {
+func runNIDS(topo *topology.Topology, spec Spec, r int, manifestOnly bool, node int, metrics *obs.Registry) {
 	tm := traffic.Gravity(topo)
 	sessions := traffic.Generate(topo, tm, traffic.GenConfig{Sessions: spec.Sessions, Seed: spec.Seed})
 	classes := bro.Classes(bro.StandardModules()[1:])
@@ -203,7 +229,7 @@ func runNIDS(topo *topology.Topology, spec Spec, r int, manifestOnly bool, node 
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := core.Solve(inst, r)
+	plan, err := core.SolveOpts(inst, core.SolveOptions{Redundancy: r, Metrics: metrics})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -260,7 +286,7 @@ func printManifest(inst *core.Instance, plan *core.Plan, node int) {
 	}
 }
 
-func runNIPS(topo *topology.Topology, spec Spec, variantName string, iters int) {
+func runNIPS(topo *topology.Topology, spec Spec, variantName string, iters int, metrics *obs.Registry) {
 	var variant nips.Variant
 	switch variantName {
 	case "basic":
@@ -279,6 +305,7 @@ func runNIPS(topo *topology.Topology, spec Spec, variantName string, iters int) 
 	})
 	dep, rel, err := nips.Solve(inst, nips.SolveOptions{
 		Variant: variant, Iters: iters, Seed: spec.Seed, Workers: spec.Workers,
+		Metrics: metrics,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -314,7 +341,7 @@ func maxOf(xs []float64) float64 {
 
 // runWhatIf answers the Section 5 provisioning question: where does added
 // capacity reduce the bottleneck most?
-func runWhatIf(topo *topology.Topology, spec Spec, r int, factor float64) {
+func runWhatIf(topo *topology.Topology, spec Spec, r int, factor float64, metrics *obs.Registry) {
 	tm := traffic.Gravity(topo)
 	sessions := traffic.Generate(topo, tm, traffic.GenConfig{Sessions: spec.Sessions, Seed: spec.Seed})
 	classes := bro.Classes(bro.StandardModules()[1:])
@@ -322,7 +349,7 @@ func runWhatIf(topo *topology.Topology, spec Spec, r int, factor float64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := core.Solve(inst, r)
+	base, err := core.SolveOpts(inst, core.SolveOptions{Redundancy: r, Metrics: metrics})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,7 +23,7 @@ func ExamplePlanNIDS() {
 		fmt.Println("error:", err)
 		return
 	}
-	plan, err := nwdeploy.PlanNIDS(inst, 1)
+	plan, err := nwdeploy.PlanNIDS(inst, nwdeploy.NIDSOptions{})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -55,13 +55,18 @@ func ExamplePlanNIPS() {
 			RuleCapacityFraction: 0.2,
 			MatchSeed:            5,
 		})
-	dep, optLP, err := nwdeploy.PlanNIPS(inst, nwdeploy.NIPSRoundingGreedyLP, 5, 3)
+	res, err := nwdeploy.PlanNIPS(inst, nwdeploy.NIPSOptions{
+		Variant: nwdeploy.NIPSRoundingGreedyLP,
+		Iters:   5,
+		Seed:    3,
+	})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
+	dep := res.Deployment
 	fmt.Printf("deployment feasible: %v\n", dep.Verify(inst) == nil)
-	fmt.Printf("within 80%% of the LP bound: %v\n", dep.Objective >= 0.8*optLP)
+	fmt.Printf("within 80%% of the LP bound: %v\n", dep.Objective >= 0.8*res.LPBound)
 	// Output:
 	// deployment feasible: true
 	// within 80% of the LP bound: true

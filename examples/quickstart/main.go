@@ -49,13 +49,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := nwdeploy.PlanNIDS(inst, 1)
+	metrics := nwdeploy.NewMetrics()
+	plan, err := nwdeploy.PlanNIDS(inst, nwdeploy.NIDSOptions{Metrics: metrics})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("solved NIDS LP: %d units, objective (min max load) = %.4f\n",
 		len(inst.Units), plan.Objective)
+	fmt.Printf("simplex pivots: %d phase-1 + %d phase-2 (from the metrics registry: %d LP solves)\n",
+		plan.Stats.Phase1Iters, plan.Stats.Phase2Iters,
+		metrics.Counter("lp.solves").Value())
 
 	// Show one unit's hash-range split.
 	for ui, u := range inst.Units {

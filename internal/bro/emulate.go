@@ -5,6 +5,7 @@ import (
 
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/obs"
 	"nwdeploy/internal/parallel"
 	"nwdeploy/internal/topology"
 	"nwdeploy/internal/traffic"
@@ -85,6 +86,10 @@ type Emulation struct {
 	// independent (each node sees its own trace and keeps its own engine
 	// state), so the result is byte-identical for every worker count.
 	Workers int
+	// Metrics, when non-nil, is forwarded to every per-node engine run
+	// and additionally times the whole emulation. Results are
+	// byte-identical with or without it (nil is the no-op default).
+	Metrics *obs.Registry
 
 	paths [][][]int
 }
@@ -154,6 +159,8 @@ func (e *Emulation) Run(d Deployment) *EmulationResult {
 // nothing else for a session. Only meaningful for the coordinated
 // deployment.
 func (e *Emulation) RunFineGrained(d Deployment, fineGrained bool) *EmulationResult {
+	sp := e.Metrics.StartSpan("bro.emulation_ns")
+	defer sp.End()
 	res := &EmulationResult{Deployment: d}
 	n := e.Topo.N()
 	nodeWorkers := parallel.Resolve(e.Workers, n)
@@ -178,6 +185,7 @@ func (e *Emulation) RunFineGrained(d Deployment, fineGrained bool) *EmulationRes
 		}
 		cfg.Node = j
 		cfg.Workers = engineWorkers
+		cfg.Metrics = e.Metrics
 		return Run(cfg, trace)
 	})
 	return res

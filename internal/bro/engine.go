@@ -5,6 +5,7 @@ import (
 
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/obs"
 	"nwdeploy/internal/parallel"
 	"nwdeploy/internal/traffic"
 )
@@ -95,6 +96,13 @@ type Config struct {
 	// the sharded run is bit-identical to the serial one — see DESIGN.md
 	// for why connection-keyed sharding cannot make that guarantee.
 	Workers int
+	// Metrics, when non-nil, receives engine observability: per-module
+	// analyzed packets and bytes, policy-table sizes, session/connection/
+	// alert totals, and run plus per-lane wall times. Aggregates are
+	// recorded when a run (or lane) finishes, never inside the per-session
+	// loop, and the registry is write-only, so reports are bit-identical
+	// with or without it (nil is the no-op default; see internal/obs).
+	Metrics *obs.Registry
 }
 
 // Report is the resource accounting of one engine run: the analogue of the
@@ -128,6 +136,12 @@ type engine struct {
 	// every (session, module) pair, flattened session-major. The decisions
 	// are stateless, so one shared read-only copy serves every lane.
 	pass []bool
+
+	// modPkts/modBytes accumulate analyzed packets and bytes per owned
+	// module, allocated only when cfg.Metrics is live so the
+	// uninstrumented hot path is untouched.
+	modPkts  []float64
+	modBytes []float64
 }
 
 // Run processes the session trace through one engine instance and returns
@@ -143,6 +157,8 @@ func Run(cfg Config, sessions []traffic.Session) Report {
 // session) analysis performed; RunWithLog uses it to build conn logs.
 // Callback runs stay serial so the log order matches the trace order.
 func runInternal(cfg Config, sessions []traffic.Session, onAnalyze func(int, traffic.Session)) Report {
+	sp := cfg.Metrics.StartSpan("bro.run_ns")
+	defer sp.End()
 	if w := parallel.Resolve(cfg.Workers, len(cfg.Modules)+1); w > 1 && onAnalyze == nil && len(cfg.Modules) > 0 {
 		return runSharded(cfg, sessions, w)
 	}
@@ -164,18 +180,53 @@ func newEngine(cfg Config, onAnalyze func(int, traffic.Session)) *engine {
 	for i := range e.tables {
 		e.tables[i] = newModuleTables()
 	}
+	if cfg.Metrics != nil {
+		e.modPkts = make([]float64, len(cfg.Modules))
+		e.modBytes = make([]float64, len(cfg.Modules))
+	}
 	return e
 }
 
 // finish folds the policy-table footprints of the owned modules into the
-// report and returns it.
+// report, records the run's aggregates to the metrics registry, and
+// returns the report.
 func (e *engine) finish() Report {
 	for mi, t := range e.tables {
 		if e.owns(mi) {
 			e.rep.MemBytes += t.memBytes()
 		}
 	}
+	e.recordMetrics()
 	return e.rep
+}
+
+// recordMetrics publishes the finished run's (or lane's) aggregates.
+// Counters are atomic and every lane owns disjoint work, so summing lane
+// contributions reproduces exactly the serial run's totals regardless of
+// scheduling order.
+func (e *engine) recordMetrics() {
+	m := e.cfg.Metrics
+	if m == nil {
+		return
+	}
+	if e.sessionOwner {
+		m.Add("bro.sessions_observed", int64(e.rep.Observed))
+		m.Add("bro.conns", int64(e.rep.Conns))
+	}
+	m.Add("bro.alerts", int64(e.rep.Alerts))
+	m.Add("bro.cpu_units", int64(e.rep.CPUUnits))
+	m.Add("bro.mem_bytes", int64(e.rep.MemBytes))
+	for mi, spec := range e.cfg.Modules {
+		if !e.owns(mi) {
+			continue
+		}
+		m.Add("bro.module_pkts."+spec.Name, int64(e.modPkts[mi]))
+		m.Add("bro.module_bytes."+spec.Name, int64(e.modBytes[mi]))
+		if tb := e.tables[mi].memBytes(); tb > 0 {
+			m.Add("bro.module_table_bytes."+spec.Name, int64(tb))
+			m.Observe("bro.table_bytes", int64(tb))
+		}
+	}
 }
 
 // owns reports whether this engine owns module lane mi.
@@ -197,6 +248,8 @@ func runSharded(cfg Config, sessions []traffic.Session, workers int) Report {
 	// Phase 2: lane 0 owns session-level connection processing; lane mi+1
 	// owns module mi's analysis work and tables.
 	reports := parallel.Map(workers, L+1, func(lane int) Report {
+		lsp := cfg.Metrics.StartSpan("bro.lane_ns")
+		defer lsp.End()
 		e := newEngine(cfg, nil)
 		e.pass = pass
 		e.owned = make([]bool, L)
@@ -343,6 +396,10 @@ func (e *engine) processSession(si int, s traffic.Session) {
 			if e.onAnalyze != nil {
 				e.onAnalyze(mi, s)
 			}
+			if e.modPkts != nil {
+				e.modPkts[mi]++ // first-packet event: one packet served
+				e.modBytes[mi] += float64(s.Bytes)
+			}
 			before := e.rep.CPUUnits
 			// The manifest check runs once, on the first-packet event.
 			ctx := e.contextFor(mi, s, true)
@@ -397,6 +454,10 @@ func (e *engine) processSession(si int, s traffic.Session) {
 		if analyzed {
 			if e.onAnalyze != nil {
 				e.onAnalyze(mi, s)
+			}
+			if e.modPkts != nil {
+				e.modPkts[mi] += pkts
+				e.modBytes[mi] += float64(s.Bytes)
 			}
 			// Event-engine protocol work per packet.
 			e.rep.CPUUnits += m.EventOpsPerPkt * pkts

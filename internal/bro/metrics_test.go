@@ -1,0 +1,102 @@
+package bro
+
+import (
+	"reflect"
+	"testing"
+
+	"nwdeploy/internal/core"
+	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/obs"
+	"nwdeploy/internal/topology"
+	"nwdeploy/internal/traffic"
+)
+
+func metricsTestTrace(t *testing.T, n int) []traffic.Session {
+	t.Helper()
+	topo := topology.Internet2()
+	return traffic.Generate(topo, traffic.Gravity(topo), traffic.GenConfig{Sessions: n, Seed: 19})
+}
+
+// TestRunMetricsNonInterference is the obs contract on the engine: a live
+// registry must not change the report in any field, for the serial and the
+// sharded path alike.
+func TestRunMetricsNonInterference(t *testing.T) {
+	trace := metricsTestTrace(t, 4000)
+	for _, workers := range []int{1, 4} {
+		cfg := Config{
+			Mode:    ModePlain,
+			Modules: StandardModules()[1:],
+			Hasher:  hashing.Hasher{Key: 3},
+			Workers: workers,
+		}
+		plain := Run(cfg, trace)
+
+		cfg.Metrics = obs.New()
+		instrumented := Run(cfg, trace)
+		if !reflect.DeepEqual(plain, instrumented) {
+			t.Fatalf("workers=%d: live registry changed the report:\n plain: %+v\n  live: %+v",
+				workers, plain, instrumented)
+		}
+		if got := cfg.Metrics.Counter("bro.sessions_observed").Value(); got != int64(plain.Observed) {
+			t.Fatalf("workers=%d: bro.sessions_observed = %d, report says %d", workers, got, plain.Observed)
+		}
+		if cfg.Metrics.Counter("bro.conns").Value() != int64(plain.Conns) {
+			t.Fatalf("workers=%d: bro.conns mismatch", workers)
+		}
+	}
+}
+
+// TestRunMetricsShardingAgreement checks that the sharded engine records
+// the same counter totals as the serial one: lanes own disjoint work, so
+// the atomic sums must agree regardless of scheduling.
+func TestRunMetricsShardingAgreement(t *testing.T) {
+	trace := metricsTestTrace(t, 4000)
+	base := Config{
+		Mode:    ModePlain,
+		Modules: StandardModules()[1:],
+		Hasher:  hashing.Hasher{Key: 3},
+	}
+
+	serial := base
+	serial.Workers = 1
+	serial.Metrics = obs.New()
+	Run(serial, trace)
+
+	sharded := base
+	sharded.Workers = 4
+	sharded.Metrics = obs.New()
+	Run(sharded, trace)
+
+	ss, sh := serial.Metrics.Snapshot(), sharded.Metrics.Snapshot()
+	for name, v := range ss.Counters {
+		if sh.Counters[name] != v {
+			t.Errorf("counter %s: serial %d, sharded %d", name, v, sh.Counters[name])
+		}
+	}
+	for name := range sh.Counters {
+		if _, ok := ss.Counters[name]; !ok {
+			t.Errorf("counter %s recorded only by the sharded run", name)
+		}
+	}
+}
+
+// TestEmulationMetricsNonInterference runs the network-wide emulation with
+// and without a registry and requires byte-identical results.
+func TestEmulationMetricsNonInterference(t *testing.T) {
+	topo := topology.Internet2()
+	trace := metricsTestTrace(t, 2000)
+	em, err := NewEmulation(topo, StandardModules()[1:], trace, core.UniformCaps(topo.N(), 1e9, 1e12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := em.Run(DeployCoordinated)
+
+	em.Metrics = obs.New()
+	instrumented := em.Run(DeployCoordinated)
+	if !reflect.DeepEqual(plain, instrumented) {
+		t.Fatal("live registry changed the emulation result")
+	}
+	if em.Metrics.Histogram("bro.emulation_ns").Count() == 0 {
+		t.Fatal("bro.emulation_ns span never recorded")
+	}
+}

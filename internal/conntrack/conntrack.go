@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/obs"
 )
 
 // Conn is one tracked connection record.
@@ -46,6 +47,11 @@ type Config struct {
 	// RecordBytes is the accounting size per record; zero selects 424
 	// (the prototype's 400-byte record plus 24 bytes of hash fields).
 	RecordBytes int
+	// Metrics, when non-nil, receives table observability: created,
+	// expired, and evicted record counts plus a peak-occupancy gauge.
+	// The registry is write-only; table behavior is identical without it
+	// (nil is the no-op default; see internal/obs).
+	Metrics *obs.Registry
 }
 
 // Stats is a table's lifetime accounting.
@@ -69,6 +75,11 @@ type Table struct {
 	byAge connHeap // min-heap on LastSeen
 
 	stats Stats
+
+	// Metric handles resolved once at construction; all are nil-safe
+	// no-ops when Config.Metrics is nil.
+	createdC, expiredC, evictedC *obs.Counter
+	peakG                        *obs.Gauge
 }
 
 // New creates an empty table.
@@ -80,9 +91,13 @@ func New(cfg Config) *Table {
 		cfg.RecordBytes = 424
 	}
 	return &Table{
-		cfg:    cfg,
-		hasher: hashing.Hasher{Key: cfg.HashKey},
-		conns:  make(map[hashing.FiveTuple]*Conn),
+		cfg:      cfg,
+		hasher:   hashing.Hasher{Key: cfg.HashKey},
+		conns:    make(map[hashing.FiveTuple]*Conn),
+		createdC: cfg.Metrics.Counter("conntrack.created"),
+		expiredC: cfg.Metrics.Counter("conntrack.expired"),
+		evictedC: cfg.Metrics.Counter("conntrack.evicted"),
+		peakG:    cfg.Metrics.Gauge("conntrack.peak_entries"),
 	}
 }
 
@@ -122,17 +137,20 @@ func (t *Table) Update(ft hashing.FiveTuple, now time.Time, packets, bytes int) 
 	t.conns[key] = c
 	heap.Push(&t.byAge, c)
 	t.stats.Created++
+	t.createdC.Add(1)
 
 	if t.cfg.MaxEntries > 0 {
 		for len(t.conns) > t.cfg.MaxEntries {
 			old := t.byAge.peek()
 			t.remove(old)
 			t.stats.Evicted++
+			t.evictedC.Add(1)
 		}
 	}
 	if n := len(t.conns); n > t.stats.PeakEntries {
 		t.stats.PeakEntries = n
 		t.stats.PeakBytes = n * t.cfg.RecordBytes
+		t.peakG.Max(float64(n))
 	}
 	return c, true
 }
@@ -159,6 +177,7 @@ func (t *Table) expireBefore(cutoff time.Time) {
 		}
 		t.remove(oldest)
 		t.stats.Expired++
+		t.expiredC.Add(1)
 	}
 }
 

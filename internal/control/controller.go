@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"nwdeploy/internal/core"
+	"nwdeploy/internal/obs"
 )
 
 // The protocol is one JSON request line and one JSON response line per TCP
@@ -30,6 +31,19 @@ type response struct {
 	Err      string    `json:"err,omitempty"`
 }
 
+// ControllerOptions configures a Controller beyond its listen address.
+type ControllerOptions struct {
+	// HashKey is distributed to agents with each manifest, so the whole
+	// deployment samples consistently and adversaries cannot predict
+	// range membership without it.
+	HashKey uint32
+	// Metrics, when non-nil, receives serving observability: per-op
+	// request counters, manifest build errors, plan-update counts, and a
+	// current-epoch gauge. The registry must be supplied at construction
+	// (it is read by the accept loop); nil is the no-op default.
+	Metrics *obs.Registry
+}
+
 // Controller serves the current deployment's manifests to node agents.
 // Safe for concurrent use; UpdatePlan may be called while agents fetch.
 type Controller struct {
@@ -42,18 +56,37 @@ type Controller struct {
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
+
+	// Metric handles resolved at construction; nil-safe no-ops when no
+	// registry was configured.
+	epochReqC, manifestReqC, badReqC, manifestErrC, planUpdateC *obs.Counter
+	epochG                                                      *obs.Gauge
 }
 
 // NewController starts a controller listening on addr (e.g.
-// "127.0.0.1:0"). The hash key is distributed to agents with each
-// manifest, so the whole deployment samples consistently and adversaries
-// cannot predict range membership without it.
+// "127.0.0.1:0") with the given sampling hash key and no metrics; see
+// NewControllerOpts for the full configuration surface.
 func NewController(addr string, hashKey uint32) (*Controller, error) {
+	return NewControllerOpts(addr, ControllerOptions{HashKey: hashKey})
+}
+
+// NewControllerOpts starts a controller listening on addr (e.g.
+// "127.0.0.1:0").
+func NewControllerOpts(addr string, opts ControllerOptions) (*Controller, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("control: listen: %w", err)
 	}
-	c := &Controller{hashKey: hashKey, ln: ln, closed: make(chan struct{})}
+	c := &Controller{
+		hashKey: opts.HashKey, ln: ln, closed: make(chan struct{}),
+
+		epochReqC:    opts.Metrics.Counter("control.requests_epoch"),
+		manifestReqC: opts.Metrics.Counter("control.requests_manifest"),
+		badReqC:      opts.Metrics.Counter("control.requests_bad"),
+		manifestErrC: opts.Metrics.Counter("control.manifest_errors"),
+		planUpdateC:  opts.Metrics.Counter("control.plan_updates"),
+		epochG:       opts.Metrics.Gauge("control.epoch"),
+	}
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
@@ -76,6 +109,8 @@ func (c *Controller) UpdatePlan(plan *core.Plan) {
 	defer c.mu.Unlock()
 	c.plan = plan
 	c.epoch++
+	c.planUpdateC.Add(1)
+	c.epochG.Set(float64(c.epoch))
 }
 
 // Close stops the listener and waits for in-flight connections.
@@ -119,6 +154,7 @@ func (c *Controller) serve(conn net.Conn) {
 	}
 	enc := json.NewEncoder(conn)
 	if err := json.Unmarshal(line, &req); err != nil {
+		c.badReqC.Add(1)
 		_ = enc.Encode(response{Err: "malformed request"})
 		return
 	}
@@ -129,19 +165,24 @@ func (c *Controller) serve(conn net.Conn) {
 
 	switch req.Op {
 	case "epoch":
+		c.epochReqC.Add(1)
 		_ = enc.Encode(response{Epoch: epoch})
 	case "manifest":
+		c.manifestReqC.Add(1)
 		if plan == nil {
+			c.manifestErrC.Add(1)
 			_ = enc.Encode(response{Epoch: epoch, Err: "no plan installed"})
 			return
 		}
 		m, err := ManifestFromPlan(plan, req.Node, epoch, c.hashKey)
 		if err != nil {
+			c.manifestErrC.Add(1)
 			_ = enc.Encode(response{Epoch: epoch, Err: err.Error()})
 			return
 		}
 		_ = enc.Encode(response{Epoch: epoch, Manifest: m})
 	default:
+		c.badReqC.Add(1)
 		_ = enc.Encode(response{Epoch: epoch, Err: fmt.Sprintf("unknown op %q", req.Op)})
 	}
 }

@@ -1,0 +1,52 @@
+package control
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestManifestWireFormatGolden pins the exact JSON wire format of a
+// manifest. Agents in the field parse this encoding; any change to field
+// names, omitempty behavior, or nesting is a protocol break and must fail
+// here before it ships.
+func TestManifestWireFormatGolden(t *testing.T) {
+	m := &Manifest{
+		Node:    3,
+		Epoch:   17,
+		HashKey: 0xbeef,
+		Classes: []WireClass{
+			{Name: "signature"},
+			{Name: "http", Scope: 1, Agg: 2, Ports: []uint16{80, 8080}, Transport: 6},
+		},
+		Assignments: []WireAssignment{
+			{Class: 0, Unit: [2]int{2, 5}, Ranges: []WireRange{{Lo: 0, Hi: 0.25}, {Lo: 0.75, Hi: 1}}},
+			{Class: 1, Unit: [2]int{4, -1}, Ranges: []WireRange{{Lo: 0.25, Hi: 0.5}}},
+		},
+	}
+
+	const golden = `{"node":3,"epoch":17,"hash_key":48879,` +
+		`"classes":[` +
+		`{"name":"signature","scope":0,"agg":0},` +
+		`{"name":"http","scope":1,"agg":2,"ports":[80,8080],"transport":6}],` +
+		`"assignments":[` +
+		`{"class":0,"unit":[2,5],"ranges":[{"lo":0,"hi":0.25},{"lo":0.75,"hi":1}]},` +
+		`{"class":1,"unit":[4,-1],"ranges":[{"lo":0.25,"hi":0.5}]}]}`
+
+	got, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != golden {
+		t.Fatalf("wire format drifted:\n got: %s\nwant: %s", got, golden)
+	}
+
+	// The encoding must round-trip losslessly.
+	var back Manifest
+	if err := json.Unmarshal([]byte(golden), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, m) {
+		t.Fatalf("round trip mismatch:\n got: %+v\nwant: %+v", &back, m)
+	}
+}

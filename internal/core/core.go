@@ -23,6 +23,7 @@ import (
 
 	"nwdeploy/internal/hashing"
 	"nwdeploy/internal/lp"
+	"nwdeploy/internal/obs"
 	"nwdeploy/internal/topology"
 	"nwdeploy/internal/traffic"
 )
@@ -300,12 +301,67 @@ type Plan struct {
 	// SolverIters counts simplex iterations, for the optimization-time
 	// reproduction.
 	SolverIters int
+	// Stats is the LP solver's work report (per-phase pivots, Bland
+	// activations, presolve eliminations). Like SolverIters it is
+	// deterministic: it never includes wall-clock quantities, so plans
+	// solved with and without a metrics registry compare equal.
+	Stats lp.SolveStats
+}
+
+// SolveOptions parameterizes SolveOpts, mirroring nips.SolveOptions.
+type SolveOptions struct {
+	// Redundancy is the Section 2.5 coverage level r (0 selects 1).
+	Redundancy int
+	// Aggregation, when non-nil, adds the Section 5 network-wide
+	// communication budget to the formulation (see SolveWithAggregation).
+	Aggregation *AggregationConfig
+	// Workers is accepted for symmetry with the other options structs and
+	// reserved for future use: the NIDS LP solve is single-threaded today.
+	Workers int
+	// Metrics, when non-nil, receives solve observability (the lp
+	// package's counters plus solve wall time). The registry is
+	// write-only, so the returned Plan is identical with or without it
+	// (nil is the no-op default; see internal/obs).
+	Metrics *obs.Registry
+}
+
+// SolveOpts formulates and solves the placement LP selected by opts: the
+// Eqs. (1)–(6) base formulation, generalized to coverage r, plus the
+// aggregation budget row when opts.Aggregation is set.
+func SolveOpts(inst *Instance, opts SolveOptions) (*Plan, error) {
+	r := opts.Redundancy
+	if r == 0 {
+		r = 1
+	}
+	sp := opts.Metrics.StartSpan("core.solve_ns")
+	defer sp.End()
+	var plan *Plan
+	var err error
+	if opts.Aggregation != nil {
+		plan, err = solveWithAggregation(inst, r, *opts.Aggregation, opts.Metrics)
+	} else {
+		plan, err = solveNIDS(inst, r, opts.Metrics)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if m := opts.Metrics; m != nil {
+		m.Add("core.solves", 1)
+		m.Gauge("core.objective").Set(plan.Objective)
+	}
+	return plan, nil
 }
 
 // Solve formulates and solves the LP of Eqs. (1)–(6) with coverage level
 // r >= 1 (r = 1 is the base formulation; r > 1 is the redundancy extension,
 // which covers the hash space [0, r] while keeping every d_ikj <= 1).
 func Solve(inst *Instance, r int) (*Plan, error) {
+	return solveNIDS(inst, r, nil)
+}
+
+// solveNIDS is Solve with an optional metrics registry threaded into the
+// LP solve (nil is the no-op registry).
+func solveNIDS(inst *Instance, r int, metrics *obs.Registry) (*Plan, error) {
 	if r < 1 {
 		return nil, fmt.Errorf("core: redundancy level %d < 1", r)
 	}
@@ -356,7 +412,7 @@ func Solve(inst *Instance, r int) (*Plan, error) {
 
 	// Presolve pays off here: every ingress/egress-pinned unit is a
 	// singleton coverage equality the reductions eliminate outright.
-	sol, err := p.SolveOpts(lp.Options{Presolve: true})
+	sol, err := p.SolveOpts(lp.Options{Presolve: true, Metrics: metrics})
 	if err != nil {
 		return nil, fmt.Errorf("core: solving NIDS LP: %w", err)
 	}
@@ -364,7 +420,7 @@ func Solve(inst *Instance, r int) (*Plan, error) {
 		return nil, fmt.Errorf("core: NIDS LP %v (is redundancy %d feasible?)", sol.Status, r)
 	}
 
-	plan := &Plan{Inst: inst, Redundancy: r, Objective: sol.Objective, SolverIters: sol.Iters}
+	plan := &Plan{Inst: inst, Redundancy: r, Objective: sol.Objective, SolverIters: sol.Iters, Stats: sol.Stats}
 	plan.Assignments = make([]Assignment, len(inst.Units))
 	for ui := range inst.Units {
 		frac := make([]float64, len(dVars[ui]))

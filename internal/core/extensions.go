@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"nwdeploy/internal/lp"
+	"nwdeploy/internal/obs"
 )
 
 // GreedyPlan is the ablation baseline for the LP: it assigns each
@@ -93,6 +94,12 @@ type AggregationConfig struct {
 // reproduces Solve exactly; tightening it pulls analysis toward the
 // collector at the price of a higher max load.
 func SolveWithAggregation(inst *Instance, r int, agg AggregationConfig) (*Plan, error) {
+	return solveWithAggregation(inst, r, agg, nil)
+}
+
+// solveWithAggregation is SolveWithAggregation with an optional metrics
+// registry threaded into the LP solve (nil is the no-op registry).
+func solveWithAggregation(inst *Instance, r int, agg AggregationConfig, metrics *obs.Registry) (*Plan, error) {
 	if agg.Collector < 0 || agg.Collector >= inst.Topo.N() {
 		return nil, fmt.Errorf("core: collector node %d out of range", agg.Collector)
 	}
@@ -159,7 +166,7 @@ func SolveWithAggregation(inst *Instance, r int, agg AggregationConfig) (*Plan, 
 		p.AddConstraint("agg-budget", commTerms, lp.LE, agg.Budget)
 	}
 
-	sol, err := p.Solve()
+	sol, err := p.SolveOpts(lp.Options{Metrics: metrics})
 	if err != nil {
 		return nil, fmt.Errorf("core: aggregation LP: %w", err)
 	}
@@ -171,7 +178,7 @@ func SolveWithAggregation(inst *Instance, r int, agg AggregationConfig) (*Plan, 
 		return nil, fmt.Errorf("core: aggregation LP %v", sol.Status)
 	}
 
-	plan := &Plan{Inst: inst, Redundancy: r, Objective: sol.Objective, SolverIters: sol.Iters}
+	plan := &Plan{Inst: inst, Redundancy: r, Objective: sol.Objective, SolverIters: sol.Iters, Stats: sol.Stats}
 	plan.Assignments = make([]Assignment, len(inst.Units))
 	for ui := range inst.Units {
 		frac := make([]float64, len(dVars[ui]))

@@ -159,6 +159,54 @@ func TestAggregationValidation(t *testing.T) {
 	}
 }
 
+func TestCoverageUnderFailureEdgeCases(t *testing.T) {
+	topo := topology.Internet2()
+	tm := traffic.Gravity(topo)
+	sessions := traffic.Generate(topo, tm, traffic.GenConfig{Sessions: 2000, Seed: 77})
+	classes := []Class{
+		{Name: "signature", Scope: PerPath, Agg: BySession, CPUPerPkt: 1, MemPerItem: 400},
+	}
+	inst, err := BuildInstance(topo, classes, sessions, UniformCaps(topo.N(), 1e7, 1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Solve(inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty failure sets — nil and zero-length — mean full coverage.
+	for _, failed := range [][]int{nil, {}} {
+		worst, avg := CoverageUnderFailure(plan, failed)
+		if worst < 0.999 || avg < 0.999 {
+			t.Fatalf("failed=%v: worst=%v avg=%v, want full coverage", failed, worst, avg)
+		}
+	}
+
+	// All nodes failed: nothing is analyzed anywhere.
+	all := make([]int, topo.N())
+	for j := range all {
+		all[j] = j
+	}
+	if worst, avg := CoverageUnderFailure(plan, all); worst != 0 || avg != 0 {
+		t.Fatalf("all nodes failed: worst=%v avg=%v, want 0, 0", worst, avg)
+	}
+
+	// Duplicate node IDs behave exactly like the deduplicated set.
+	var dupTarget int
+	for j := 0; j < topo.N(); j++ {
+		if w, _ := CoverageUnderFailure(plan, []int{j}); w < 0.999 {
+			dupTarget = j
+			break
+		}
+	}
+	w1, a1 := CoverageUnderFailure(plan, []int{dupTarget})
+	w2, a2 := CoverageUnderFailure(plan, []int{dupTarget, dupTarget, dupTarget})
+	if w1 != w2 || a1 != a2 {
+		t.Fatalf("duplicates changed the result: (%v, %v) vs (%v, %v)", w1, a1, w2, a2)
+	}
+}
+
 func TestRedundancySurvivesSingleNodeFailure(t *testing.T) {
 	// Path-scoped classes so r=2 is feasible.
 	topo := topology.Internet2()

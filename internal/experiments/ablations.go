@@ -43,7 +43,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	lpPlan, err := core.Solve(inst, 1)
+	lpPlan, err := core.SolveOpts(inst, core.SolveOptions{Metrics: cfg.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -59,6 +59,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 		return nil, err
 	}
 	em.Workers = cfg.Workers
+	em.Metrics = cfg.Metrics
 	coarse := em.RunFineGrained(bro.DeployCoordinated, false)
 	fine := em.RunFineGrained(bro.DeployCoordinated, true)
 	rows = append(rows,
@@ -80,6 +81,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 	})
 	dep, _, err := nips.Solve(ninst, nips.SolveOptions{
 		Variant: nips.VariantRoundGreedyLP, Iters: 3, Seed: 4, Workers: cfg.Workers,
+		Metrics: cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -17,6 +17,7 @@ import (
 	"nwdeploy/internal/bro"
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/nips"
+	"nwdeploy/internal/obs"
 	"nwdeploy/internal/online"
 	"nwdeploy/internal/parallel"
 	"nwdeploy/internal/topology"
@@ -33,6 +34,11 @@ type Config struct {
 	// runner derives per-item RNGs from fixed seeds and merges results in
 	// canonical index order, so rows are byte-identical for every value.
 	Workers int
+	// Metrics, when non-nil, is threaded into the solver and emulation
+	// runs so one registry accumulates counters across the whole suite.
+	// Rows are byte-identical with or without it (nil is the no-op
+	// default; see internal/obs).
+	Metrics *obs.Registry
 }
 
 func (c Config) sessions(full int) int {
@@ -105,6 +111,7 @@ func runEmulation(cfg Config, modules []bro.ModuleSpec, sessions []traffic.Sessi
 		return nil, nil, err
 	}
 	em.Workers = cfg.Workers
+	em.Metrics = cfg.Metrics
 	return em.Run(bro.DeployEdge), em.Run(bro.DeployCoordinated), nil
 }
 
@@ -229,7 +236,7 @@ func NIDSOptTime(cfg Config) (OptTime, error) {
 		return OptTime{}, err
 	}
 	start := time.Now()
-	plan, err := core.Solve(inst, 1)
+	plan, err := core.SolveOpts(inst, core.SolveOptions{Metrics: cfg.Metrics})
 	if err != nil {
 		return OptTime{}, err
 	}
@@ -268,6 +275,7 @@ func NIPSOptTime(cfg Config) (OptTime, error) {
 	start := time.Now()
 	dep, rel, err := nips.Solve(inst, nips.SolveOptions{
 		Variant: nips.VariantRoundGreedyLP, Iters: 1, Seed: 2, Workers: cfg.Workers,
+		Metrics: cfg.Metrics,
 	})
 	if err != nil {
 		return OptTime{}, err
@@ -393,6 +401,7 @@ func Fig10(cfg Config) ([]Fig10Row, error) {
 				Variant: v, Iters: iters,
 				Seed:    int64(31*c.s + int(v) + 1),
 				Workers: solveWorkers,
+				Metrics: cfg.Metrics,
 			})
 			if err != nil {
 				return nil, err
@@ -484,6 +493,7 @@ func Fig10Robustness(cfg Config) ([]Fig10RobustnessRow, error) {
 				Variant: v, Iters: iters,
 				Seed:    int64(13*c.s + int(v) + 1),
 				Workers: solveWorkers,
+				Metrics: cfg.Metrics,
 			})
 			if err != nil {
 				return nil, err
@@ -615,7 +625,7 @@ func Redundancy(cfg Config) ([]RedundancyRow, error) {
 	// on this topology.
 	var rows []RedundancyRow
 	for r := 1; r <= 2; r++ {
-		plan, err := core.Solve(inst, r)
+		plan, err := core.SolveOpts(inst, core.SolveOptions{Redundancy: r, Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("redundancy r=%d: %w", r, err)
 		}

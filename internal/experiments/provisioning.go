@@ -90,12 +90,12 @@ func Provisioning(cfg Config) ([]ProvisioningRow, error) {
 		}
 	}
 
-	meanPlan, err := core.Solve(inst, 1)
+	meanPlan, err := core.SolveOpts(inst, core.SolveOptions{Metrics: cfg.Metrics})
 	if err != nil {
 		return nil, err
 	}
 	consInst := inst.Scaled(unitScale(func(k int) float64 { return p95[k] / mean[k] }))
-	consPlan, err := core.Solve(consInst, 1)
+	consPlan, err := core.SolveOpts(consInst, core.SolveOptions{Metrics: cfg.Metrics})
 	if err != nil {
 		return nil, err
 	}

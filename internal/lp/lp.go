@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"nwdeploy/internal/obs"
 )
 
 // Sense selects the optimization direction of a Problem.
@@ -180,6 +182,12 @@ type Options struct {
 	// tightening, and empty-row elimination before the simplex. Solutions
 	// found under presolve carry no Duals.
 	Presolve bool
+	// Metrics, when non-nil, receives solver observability: per-phase
+	// pivot counts, Bland-rule activations, presolve eliminations, and
+	// solve wall time. The registry is write-only — it never influences
+	// pivoting — so solutions are identical with or without it (the nil
+	// registry is the no-op default; see internal/obs).
+	Metrics *obs.Registry
 }
 
 // Solution is the result of a Solve call.
@@ -196,6 +204,25 @@ type Solution struct {
 	// Section 5 needs.
 	Duals []float64
 	Iters int // simplex iterations used (both phases)
+	// Stats carries deterministic solve counters. They are derived from
+	// the computation itself (never from the clock), so two solves of the
+	// same problem report identical Stats regardless of Options.Metrics.
+	Stats SolveStats
+}
+
+// SolveStats itemizes the work a Solve performed. All fields are
+// deterministic functions of the problem and options.
+type SolveStats struct {
+	Phase1Iters int // simplex pivots spent reaching feasibility
+	Phase2Iters int // simplex pivots spent optimizing
+	// BlandActivations counts how many times prolonged degeneracy forced
+	// the pricing rule from Dantzig to Bland (each activation lasts until
+	// the next improving step).
+	BlandActivations int
+	// PresolveFixedVars and PresolveDroppedRows count the variables fixed
+	// and rows retired by presolve (zero unless Options.Presolve).
+	PresolveFixedVars   int
+	PresolveDroppedRows int
 }
 
 // Dual returns the shadow price of constraint row (as returned by
@@ -216,9 +243,29 @@ func (p *Problem) SolveOpts(opts Options) (*Solution, error) {
 	if len(p.vars) == 0 {
 		return nil, errors.New("lp: problem has no variables")
 	}
+	sp := opts.Metrics.StartSpan("lp.solve_ns")
+	var sol *Solution
+	var err error
 	if opts.Presolve {
-		return solveWithPresolve(p, opts)
+		sol, err = solveWithPresolve(p, opts)
+	} else {
+		s := newSimplex(p, opts)
+		sol, err = s.solve()
 	}
-	s := newSimplex(p, opts)
-	return s.solve()
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	if m := opts.Metrics; m != nil {
+		m.Add("lp.solves", 1)
+		m.Add("lp.pivots_phase1", int64(sol.Stats.Phase1Iters))
+		m.Add("lp.pivots_phase2", int64(sol.Stats.Phase2Iters))
+		m.Add("lp.bland_activations", int64(sol.Stats.BlandActivations))
+		m.Add("lp.presolve_fixed_vars", int64(sol.Stats.PresolveFixedVars))
+		m.Add("lp.presolve_dropped_rows", int64(sol.Stats.PresolveDroppedRows))
+		if sol.Status != StatusOptimal {
+			m.Add("lp.solves_"+sol.Status.String(), 1)
+		}
+	}
+	return sol, nil
 }

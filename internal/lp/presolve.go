@@ -29,6 +29,10 @@ type presolveResult struct {
 	// allFixed reports that no free variables remain: the reduced problem
 	// is empty and the fixed values are the (unique) candidate solution.
 	allFixed bool
+	// fixedVars and droppedRows count the eliminations performed, for the
+	// solve report (Solution.Stats) and the obs registry.
+	fixedVars   int
+	droppedRows int
 }
 
 const presolveTol = 1e-9
@@ -154,6 +158,7 @@ func presolve(p *Problem) *presolveResult {
 		if ub[i]-lb[i] <= presolveTol {
 			res.varMap[i] = -1
 			res.fixedVal[i] = lb[i]
+			res.fixedVars++
 			continue
 		}
 		res.varMap[i] = reduced.NumVars()
@@ -161,6 +166,7 @@ func presolve(p *Problem) *presolveResult {
 	}
 	for r := range rows {
 		if !rows[r].live {
+			res.droppedRows++
 			continue
 		}
 		terms := make([]Term, 0, len(rows[r].terms))
@@ -190,21 +196,31 @@ func solveWithPresolve(p *Problem, opts Options) (*Solution, error) {
 		return obj
 	}
 
+	presolveStats := SolveStats{
+		PresolveFixedVars:   res.fixedVars,
+		PresolveDroppedRows: res.droppedRows,
+	}
+
 	if res.allFixed {
 		// Everything pinned: validate the unique candidate against the
 		// original constraints (presolve retired them all, so they hold by
 		// construction, but verify defensively).
 		x := append([]float64(nil), res.fixedVal...)
-		return &Solution{Status: StatusOptimal, Objective: objective(x), X: x}, nil
+		return &Solution{Status: StatusOptimal, Objective: objective(x), X: x, Stats: presolveStats}, nil
 	}
 
+	// Metrics intentionally absent from the inner options: the outer
+	// SolveOpts records the combined stats exactly once.
 	inner := Options{MaxIters: opts.MaxIters, Tol: opts.Tol}
 	sol, err := res.reduced.SolveOpts(inner)
 	if err != nil {
 		return nil, fmt.Errorf("lp: presolved model: %w", err)
 	}
+	stats := sol.Stats
+	stats.PresolveFixedVars = res.fixedVars
+	stats.PresolveDroppedRows = res.droppedRows
 	if sol.Status != StatusOptimal {
-		return &Solution{Status: sol.Status, Iters: sol.Iters}, nil
+		return &Solution{Status: sol.Status, Iters: sol.Iters, Stats: stats}, nil
 	}
 	x := make([]float64, len(p.vars))
 	for i := range x {
@@ -219,6 +235,7 @@ func solveWithPresolve(p *Problem, opts Options) (*Solution, error) {
 		Objective: objective(x),
 		X:         x,
 		Iters:     sol.Iters,
+		Stats:     stats,
 		// Duals intentionally omitted: rows eliminated by presolve have no
 		// representative in the reduced basis.
 	}, nil

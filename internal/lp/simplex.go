@@ -56,6 +56,7 @@ type simplex struct {
 	iters    int
 
 	degenStreak int // consecutive (near-)zero-step iterations
+	blandCount  int // times the degeneracy streak forced Bland's rule on
 }
 
 const degenSwitch = 400 // switch to Bland's rule after this many degenerate steps
@@ -413,6 +414,9 @@ func (s *simplex) iterate() Status {
 		}
 		if t <= 1e-12 {
 			s.degenStreak++
+			if s.degenStreak == degenSwitch+1 {
+				s.blandCount++ // the next price call switches to Bland
+			}
 		} else {
 			s.degenStreak = 0
 		}
@@ -480,15 +484,17 @@ func (s *simplex) phase1Objective() float64 {
 func (s *simplex) solve() (*Solution, error) {
 	feasTol := math.Max(1e-7, s.tol*100)
 
+	phase1Iters := 0
 	if s.firstArt < s.nTotal {
 		s.phase1Costs()
 		st := s.iterate()
+		phase1Iters = s.iters
 		if st == StatusIterLimit {
-			return &Solution{Status: StatusIterLimit, Iters: s.iters}, nil
+			return &Solution{Status: StatusIterLimit, Iters: s.iters, Stats: s.stats(phase1Iters)}, nil
 		}
 		s.refreshBeta()
 		if s.phase1Objective() > feasTol {
-			return &Solution{Status: StatusInfeasible, Iters: s.iters}, nil
+			return &Solution{Status: StatusInfeasible, Iters: s.iters, Stats: s.stats(phase1Iters)}, nil
 		}
 		// Freeze artificials at zero so phase 2 cannot reactivate them.
 		for j := s.firstArt; j < s.nTotal; j++ {
@@ -502,7 +508,7 @@ func (s *simplex) solve() (*Solution, error) {
 	st := s.iterate()
 	s.refreshBeta()
 
-	sol := &Solution{Status: st, Iters: s.iters}
+	sol := &Solution{Status: st, Iters: s.iters, Stats: s.stats(phase1Iters)}
 	if st == StatusOptimal {
 		sol.Duals = s.extractDuals()
 	}
@@ -520,6 +526,16 @@ func (s *simplex) solve() (*Solution, error) {
 		sol.Objective = obj
 	}
 	return sol, nil
+}
+
+// stats assembles the deterministic solve counters given the number of
+// iterations the first phase consumed.
+func (s *simplex) stats(phase1Iters int) SolveStats {
+	return SolveStats{
+		Phase1Iters:      phase1Iters,
+		Phase2Iters:      s.iters - phase1Iters,
+		BlandActivations: s.blandCount,
+	}
 }
 
 // driveOutArtificials pivots basic artificial variables (all at value zero

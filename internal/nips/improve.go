@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"nwdeploy/internal/lp"
+	"nwdeploy/internal/obs"
 	"nwdeploy/internal/parallel"
 )
 
@@ -16,6 +17,12 @@ import (
 // disabled e forces d = 0; an enabled one leaves d in [0,1]), so this LP is
 // small and fast.
 func ResolveLP(inst *Instance, dep *Deployment) error {
+	return resolveLP(inst, dep, nil)
+}
+
+// resolveLP is ResolveLP with an optional metrics registry threaded into
+// the LP solve (nil is the no-op registry).
+func resolveLP(inst *Instance, dep *Deployment, metrics *obs.Registry) error {
 	p := lp.New(lp.Maximize)
 	n := inst.Topo.N()
 
@@ -63,7 +70,7 @@ func ResolveLP(inst *Instance, dep *Deployment) error {
 			p.AddConstraint("cpu", cpuTerms[j], lp.LE, inst.CPUCap[j])
 		}
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveOpts(lp.Options{Metrics: metrics})
 	if err != nil {
 		return fmt.Errorf("nips: resolve LP: %w", err)
 	}
@@ -185,6 +192,47 @@ type SolveOptions struct {
 	// GOMAXPROCS, 1 is the serial path. Serial and parallel runs produce
 	// byte-identical deployments for the same Seed.
 	Workers int
+	// Metrics, when non-nil, receives rounding-sweep observability:
+	// iteration/trial/repair counts, LP re-solve counts, the best
+	// objective, and solve wall time, plus the underlying lp solver's
+	// counters. The registry is write-only, so deployments are identical
+	// with or without it (nil is the no-op default; see internal/obs).
+	Metrics *obs.Registry
+}
+
+// SolveStats itemizes the deterministic work of a rounding sweep. Every
+// field is a pure function of (instance, relaxation, options): wall-clock
+// readings go only to the Metrics registry, never here, so two runs with
+// the same inputs — serial or parallel, instrumented or not — report
+// identical stats.
+type SolveStats struct {
+	// Iterations is the number of independent rounding iterations run.
+	Iterations int
+	// Trials counts rounding trials across all iterations, including
+	// restarts forced by the Figure 9 concentration check.
+	Trials int
+	// Repairs counts individual rule disables applied by the Eq. (8)
+	// TCAM repair step.
+	Repairs int
+	// LPResolves counts the Figure 10 LP re-solves of the d values.
+	LPResolves int
+	// RelaxationIters is the simplex iteration count of the LP
+	// relaxation (zero when the caller supplied the relaxation).
+	RelaxationIters int
+	// BestIteration is the index of the winning iteration.
+	BestIteration int
+	// BestTrajectory[i] is the best objective seen after iteration i —
+	// the paper's "best solution across these 10 runs" curve.
+	BestTrajectory []float64
+}
+
+// Result bundles a rounding sweep's outcome: the best deployment, the LP
+// relaxation it was rounded from (whose Objective is the OptLP upper
+// bound), and the work stats.
+type Result struct {
+	Deployment *Deployment
+	Relaxation *Relaxation
+	Stats      SolveStats
 }
 
 // Solve runs the requested variant: it solves the relaxation once, performs
@@ -194,12 +242,28 @@ type SolveOptions struct {
 // rounding-based algorithms and take the best solution across these 10
 // runs").
 func Solve(inst *Instance, opts SolveOptions) (*Deployment, *Relaxation, error) {
-	rel, err := SolveRelaxation(inst)
+	res, err := SolveDetailed(inst, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	dep, err := SolveFromRelaxation(inst, rel, opts)
-	return dep, rel, err
+	return res.Deployment, res.Relaxation, nil
+}
+
+// SolveDetailed is Solve returning the full Result, including the work
+// stats the bare Solve discards.
+func SolveDetailed(inst *Instance, opts SolveOptions) (*Result, error) {
+	sp := opts.Metrics.StartSpan("nips.solve_ns")
+	defer sp.End()
+	rel, err := solveRelaxation(inst, opts.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	dep, stats, err := solveFromRelaxation(inst, rel, opts)
+	if err != nil {
+		return nil, err
+	}
+	stats.RelaxationIters = rel.Iters
+	return &Result{Deployment: dep, Relaxation: rel, Stats: stats}, nil
 }
 
 // SolveFromRelaxation is Solve for callers that already hold the
@@ -210,43 +274,80 @@ func Solve(inst *Instance, opts SolveOptions) (*Deployment, *Relaxation, error) 
 // deployment is selected in iteration order (strict improvement), making
 // the winner identical whether the sweep ran on one worker or many.
 func SolveFromRelaxation(inst *Instance, rel *Relaxation, opts SolveOptions) (*Deployment, error) {
+	dep, _, err := solveFromRelaxation(inst, rel, opts)
+	return dep, err
+}
+
+// solveFromRelaxation runs the rounding sweep and aggregates the
+// per-iteration work counters in iteration order, so the stats (like the
+// winning deployment) are identical for any Workers value.
+func solveFromRelaxation(inst *Instance, rel *Relaxation, opts SolveOptions) (*Deployment, SolveStats, error) {
 	iters := opts.Iters
 	if iters <= 0 {
 		iters = 1
 	}
-	deps, err := parallel.MapErr(opts.Workers, iters, func(it int) (*Deployment, error) {
-		return solveOneIteration(inst, rel, opts.Variant, newSeededRand(parallel.SplitSeed(opts.Seed, int64(it))))
+	results, err := parallel.MapErr(opts.Workers, iters, func(it int) (iterResult, error) {
+		return solveOneIteration(inst, rel, opts.Variant, newSeededRand(parallel.SplitSeed(opts.Seed, int64(it))), opts.Metrics)
 	})
 	if err != nil {
-		return nil, err
+		return nil, SolveStats{}, err
 	}
+	stats := SolveStats{Iterations: iters, BestTrajectory: make([]float64, 0, iters)}
 	var best *Deployment
-	for _, dep := range deps {
-		if best == nil || dep.Objective > best.Objective {
-			best = dep
+	for it, r := range results {
+		stats.Trials += r.trials
+		stats.Repairs += r.repairs
+		stats.LPResolves += r.lpResolves
+		if best == nil || r.dep.Objective > best.Objective {
+			best = r.dep
+			stats.BestIteration = it
+		}
+		stats.BestTrajectory = append(stats.BestTrajectory, best.Objective)
+	}
+	if m := opts.Metrics; m != nil {
+		m.Add("nips.iterations", int64(stats.Iterations))
+		m.Add("nips.round_trials", int64(stats.Trials))
+		m.Add("nips.tcam_repairs", int64(stats.Repairs))
+		m.Add("nips.lp_resolves", int64(stats.LPResolves))
+		m.Gauge("nips.best_objective").Max(best.Objective)
+		for _, r := range results {
+			m.Observe("nips.iter_objective", int64(r.dep.Objective))
 		}
 	}
-	return best, nil
+	return best, stats, nil
+}
+
+// iterResult is one iteration's deployment plus its work counters.
+type iterResult struct {
+	dep        *Deployment
+	trials     int
+	repairs    int
+	lpResolves int
 }
 
 // solveOneIteration performs one rounding trial plus the variant's
 // improvement steps. Only Round consumes randomness; GreedyFill and
-// ResolveLP are deterministic.
-func solveOneIteration(inst *Instance, rel *Relaxation, variant Variant, rng *rand.Rand) (*Deployment, error) {
-	dep, err := Round(inst, rel, RoundConfig{}, rng)
+// ResolveLP are deterministic. The metrics registry is forwarded to the
+// inner LP solves only — per-iteration counts flow back through
+// iterResult so they aggregate in iteration order.
+func solveOneIteration(inst *Instance, rel *Relaxation, variant Variant, rng *rand.Rand, metrics *obs.Registry) (iterResult, error) {
+	dep, rs, err := round(inst, rel, RoundConfig{}, rng)
 	if err != nil {
-		return nil, err
+		return iterResult{}, err
 	}
+	res := iterResult{dep: dep, trials: rs.trials, repairs: rs.repairs}
 	switch variant {
 	case VariantRoundLP:
-		if err := ResolveLP(inst, dep); err != nil {
-			return nil, err
+		if err := resolveLP(inst, dep, metrics); err != nil {
+			return iterResult{}, err
 		}
+		res.lpResolves = 1
 	case VariantRoundGreedyLP:
 		GreedyFill(inst, dep)
-		if err := ResolveLP(inst, dep); err != nil {
-			return nil, err
+		if err := resolveLP(inst, dep, metrics); err != nil {
+			return iterResult{}, err
 		}
+		res.lpResolves = 1
 	}
-	return dep, nil
+	return res, nil
 }

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 
 	"nwdeploy/internal/lp"
+	"nwdeploy/internal/obs"
 	"nwdeploy/internal/topology"
 	"nwdeploy/internal/traffic"
 )
@@ -154,6 +155,12 @@ type Relaxation struct {
 // SolveRelaxation solves Eqs. (7)–(13) with Eq. (14) relaxed to
 // 0 <= e_ij <= 1.
 func SolveRelaxation(inst *Instance) (*Relaxation, error) {
+	return solveRelaxation(inst, nil)
+}
+
+// solveRelaxation is SolveRelaxation with an optional metrics registry
+// threaded into the LP solve (nil is the no-op registry).
+func solveRelaxation(inst *Instance, metrics *obs.Registry) (*Relaxation, error) {
 	n := inst.Topo.N()
 	L := len(inst.Rules)
 	p := lp.New(lp.Maximize)
@@ -216,7 +223,7 @@ func SolveRelaxation(inst *Instance) (*Relaxation, error) {
 		}
 	}
 
-	sol, err := p.Solve()
+	sol, err := p.SolveOpts(lp.Options{Metrics: metrics})
 	if err != nil {
 		return nil, fmt.Errorf("nips: relaxation: %w", err)
 	}
@@ -304,13 +311,30 @@ func (c *RoundConfig) defaults() {
 // which is never larger than beta*log N — a practical tightening the
 // paper's analysis permits).
 func Round(inst *Instance, rel *Relaxation, cfg RoundConfig, rng *rand.Rand) (*Deployment, error) {
+	dep, _, err := round(inst, rel, cfg, rng)
+	return dep, err
+}
+
+// roundStats counts the work one Round call performed: trials includes
+// every restart forced by the concentration check, repairs counts the
+// individual rule disables applied to satisfy Eq. (8). Both are
+// deterministic functions of (instance, relaxation, config, rng stream).
+type roundStats struct {
+	trials  int
+	repairs int
+}
+
+// round is Round with work counters.
+func round(inst *Instance, rel *Relaxation, cfg RoundConfig, rng *rand.Rand) (*Deployment, roundStats, error) {
 	cfg.defaults()
 	n := inst.Topo.N()
 	L := len(inst.Rules)
 	nBig := math.Max(float64(n), float64(L))
 	allowed := cfg.Beta * math.Log(math.Max(math.E, nBig))
 
+	var rs roundStats
 	for trial := 0; trial < cfg.MaxTrials; trial++ {
+		rs.trials++
 		dep := &Deployment{}
 		dep.E = make([][]bool, L)
 		for i := 0; i < L; i++ {
@@ -341,7 +365,7 @@ func Round(inst *Instance, rel *Relaxation, cfg RoundConfig, rng *rand.Rand) (*D
 		}
 		// Repair Eq. (8): zero rules until TCAM fits (arbitrary order, as
 		// in line 10).
-		repairTCAM(inst, dep)
+		rs.repairs += repairTCAM(inst, dep)
 		// Rescale d to restore Eqs. (9)–(11) feasibility.
 		if scale := maxSoftViolation(inst, dep); scale > 1 {
 			for i := range dep.D {
@@ -353,9 +377,9 @@ func Round(inst *Instance, rel *Relaxation, cfg RoundConfig, rng *rand.Rand) (*D
 			}
 		}
 		dep.Objective = Objective(inst, dep)
-		return dep, nil
+		return dep, rs, nil
 	}
-	return nil, ErrRoundingFailed
+	return nil, rs, ErrRoundingFailed
 }
 
 // maxSoftViolation returns the largest factor by which the deployment's d
@@ -394,8 +418,10 @@ func maxSoftViolation(inst *Instance, dep *Deployment) float64 {
 }
 
 // repairTCAM zeroes enabled rules (and their d values) on nodes whose TCAM
-// constraint is violated, dropping the lowest-value rules first.
-func repairTCAM(inst *Instance, dep *Deployment) {
+// constraint is violated, dropping the lowest-value rules first. It
+// returns the number of rule disables applied.
+func repairTCAM(inst *Instance, dep *Deployment) int {
+	repairs := 0
 	n := inst.Topo.N()
 	for j := 0; j < n; j++ {
 		for {
@@ -423,8 +449,10 @@ func repairTCAM(inst *Instance, dep *Deployment) {
 				break
 			}
 			disableRule(inst, dep, worstRule, j)
+			repairs++
 		}
 	}
+	return repairs
 }
 
 // ruleNodeGain sums the objective contribution of rule i's sampling at node j.

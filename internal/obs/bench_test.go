@@ -1,0 +1,57 @@
+package obs
+
+import "testing"
+
+// The registry sits on solver and emulation hot paths behind nil checks;
+// these benchmarks pin the cost of both sides of that check. The nil
+// variants must stay effectively free (a branch), the live variants one
+// atomic op, so instrumentation can be left compiled-in everywhere.
+
+func BenchmarkCounterAddNil(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddLive(b *testing.B) {
+	c := New().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserveLive(b *testing.B) {
+	h := New().Histogram("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkGaugeMaxLive(b *testing.B) {
+	g := New().Gauge("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Max(float64(i))
+	}
+}
+
+func BenchmarkSpanNil(b *testing.B) {
+	var r *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.StartSpan("x").End()
+	}
+}
+
+func BenchmarkSpanLive(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.StartSpan("x").End()
+	}
+}

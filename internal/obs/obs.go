@@ -1,0 +1,252 @@
+// Package obs is the run-wide observability layer: a small,
+// allocation-light registry of counters, gauges, log-bucket histograms,
+// and span timers that the solver (internal/lp), the pipeline emulator
+// (internal/bro), the NIPS rounding sweep (internal/nips), and the
+// control plane thread through their hot paths.
+//
+// # Zero-value contract
+//
+// A nil *Registry is the no-op registry and is the default everywhere:
+// every method on *Registry, *Counter, *Gauge, and *Histogram is nil-safe
+// and does nothing (Span.End included, and a span started from a nil
+// registry never reads the clock). Library users who do not opt in pay
+// no allocation, no atomic, and no time.Now for the instrumentation.
+//
+// # Determinism non-interference
+//
+// The registry is write-only from the instrumented code's point of view:
+// nothing in lp, bro, nips, core, or control ever reads a metric back to
+// make a decision, so results are byte-identical whether a live registry,
+// a nil registry, or no registry at all is attached. Wall-clock readings
+// go only into the registry, never into returned Plan/Deployment/Result
+// structs; the deterministic counts that do appear in those structs
+// (pivot counts, rounding trials, repairs) are derived from the
+// computation itself, not from the clock.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named metrics. Create one with New; the nil *Registry is
+// the no-op registry (see the package docs for the zero-value contract).
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New returns an empty live registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. On a nil registry it returns nil, which is itself a valid no-op
+// counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. On a nil registry it returns nil, a valid no-op gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. On a nil registry it returns nil, a valid no-op histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Add is shorthand for r.Counter(name).Add(delta).
+func (r *Registry) Add(name string, delta int64) { r.Counter(name).Add(delta) }
+
+// Set is shorthand for r.Gauge(name).Set(v).
+func (r *Registry) Set(name string, v float64) { r.Gauge(name).Set(v) }
+
+// Observe is shorthand for r.Histogram(name).Observe(v).
+func (r *Registry) Observe(name string, v int64) { r.Histogram(name).Observe(v) }
+
+// Counter is a monotonically increasing atomic count. The nil *Counter
+// is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count (0 on the nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically set float64 — a last-write-wins sample such as
+// a table size, an epoch number, or a best objective. The nil *Gauge is
+// a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v as the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Max raises the gauge to v if v is larger than the current value.
+func (g *Gauge) Max(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value (0 on the nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the fixed number of log-scale histogram buckets. Bucket
+// i counts observations v with 2^(i-1) <= v < 2^i (bucket 0 counts v <= 1,
+// including zero and negative observations); the last bucket is unbounded.
+// 64 buckets cover every int64, so the layout never reallocates and two
+// histograms are always mergeable.
+const histBuckets = 64
+
+// Histogram is a fixed-layout log-scale (power-of-two) histogram of int64
+// observations — durations in nanoseconds, sizes in bytes, iteration
+// counts. The nil *Histogram is a no-op.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex returns the log-scale bucket for v: the number of bits
+// needed to represent v, so bucket i holds [2^(i-1), 2^i).
+func bucketIndex(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	i := bucketIndex(v)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// Count returns the number of observations (0 on the nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on the nil histogram).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Span is a lightweight timer that records an elapsed wall-clock duration
+// (in nanoseconds) into a histogram when ended. A span started from a nil
+// registry holds a nil histogram and never touches the clock.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing the named span. On a nil registry the returned
+// span is inert: no clock read at start, none at End.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{h: r.Histogram(name), start: time.Now()}
+}
+
+// End stops the span and records its duration. Safe to call on the zero
+// Span.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.start).Nanoseconds())
+}

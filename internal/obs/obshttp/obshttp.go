@@ -1,0 +1,32 @@
+// Package obshttp exposes a Registry and the Go runtime profiler over
+// HTTP for the long-running commands. It lives in its own package so
+// that instrumented libraries (internal/lp, internal/bro, ...) do not
+// link net/http merely by importing internal/obs.
+package obshttp
+
+import (
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on DefaultServeMux
+
+	"nwdeploy/internal/obs"
+)
+
+// Serve blocks serving debug endpoints on addr:
+//
+//	/metrics     the registry's text snapshot (one "name value" per line)
+//	/metrics.json  the registry's JSON snapshot
+//	/debug/pprof/  the stdlib profiler
+//	/debug/vars    expvar (includes the registry if Publish was called)
+//
+// Callers run it in a goroutine; r may be nil (empty snapshots).
+func Serve(addr string, r *obs.Registry) error {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.Snapshot().WriteText(w)
+	})
+	http.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+	return http.ListenAndServe(addr, nil)
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Snapshot is a stable point-in-time copy of a registry. Map keys are
+// metric names; the JSON form sorts them (encoding/json sorts map keys),
+// and WriteText emits one sorted line per metric, so two snapshots of
+// identical registries serialize identically.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// HistSnapshot is the serializable form of one histogram. Buckets lists
+// only the non-empty log-scale buckets in ascending upper-bound order.
+type HistSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket: N observations v with
+// v <= Le and v > the previous bucket's Le (Le is 2^i - 1 style
+// power-of-two upper bound; the final bucket's Le is math.MaxInt64).
+type Bucket struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// bucketUpper returns the inclusive upper bound of log-scale bucket i.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 1
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1) // MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Snapshot copies the registry's current state. On a nil registry it
+// returns an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+		for i := 0; i < histBuckets; i++ {
+			if n := h.buckets[i].Load(); n > 0 {
+				hs.Buckets = append(hs.Buckets, Bucket{Le: bucketUpper(i), N: n})
+			}
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON with sorted keys.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText writes the snapshot as sorted "name value" lines, one metric
+// per line — a grep-friendly alternative to the JSON form. Histograms
+// render as name.count, name.sum, and name.mean lines.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var lines []string
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", name, v))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines, fmt.Sprintf("%s.count %d", name, h.Count))
+		lines = append(lines, fmt.Sprintf("%s.sum %d", name, h.Sum))
+		mean := 0.0
+		if h.Count > 0 {
+			mean = float64(h.Sum) / float64(h.Count)
+		}
+		lines = append(lines, fmt.Sprintf("%s.mean %.3f", name, mean))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the registry's current snapshot as JSON to path,
+// creating or truncating it. A nil registry writes an empty snapshot,
+// so callers can wire the -metrics flag unconditionally.
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Publish registers the registry under name in the process-global expvar
+// namespace, so the standard /debug/vars endpoint (and the -pprof flag's
+// HTTP server) exposes a live snapshot. Publishing the same name twice
+// replaces nothing and does not panic; the first registry wins. A nil
+// registry is a no-op.
+func (r *Registry) Publish(name string) {
+	if r == nil {
+		return
+	}
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -20,6 +20,7 @@ import (
 
 	"nwdeploy/internal/lp"
 	"nwdeploy/internal/nips"
+	"nwdeploy/internal/obs"
 	"nwdeploy/internal/traffic"
 )
 
@@ -39,9 +40,32 @@ type Adapter struct {
 	// uniformly from [0, 1/Eps]^n).
 	Eps float64
 
-	cum   [][]float64 // cumulative observed match rates per (rule, path)
-	epoch int
-	rng   *rand.Rand
+	cum     [][]float64 // cumulative observed match rates per (rule, path)
+	epoch   int
+	rng     *rand.Rand
+	metrics *obs.Registry
+}
+
+// AdapterOptions parameterizes NewAdapterOpts. The zero value selects a
+// one-epoch horizon and a 1% droppable-traffic bound.
+type AdapterOptions struct {
+	// Horizon is the intended number of epochs (gamma in Theorem 3.1);
+	// values below 1 select 1.
+	Horizon int
+	// MaxDrop is a conservative bound on the droppable traffic fraction;
+	// zero or negative selects 0.01. Together with Horizon it sets the
+	// perturbation scale eps = sqrt(D/(R*A*gamma)).
+	MaxDrop float64
+	// Seed drives the per-epoch perturbation draws.
+	Seed int64
+	// Workers is reserved for parallel decision evaluation; the exact
+	// Lambda is a single LP solve today, so it is currently unused.
+	Workers int
+	// Metrics, when non-nil, receives per-decision LP solver counters and
+	// an online.decide_ns span. The registry is write-only: the decision
+	// sequence is identical with or without it (nil is the no-op default;
+	// see internal/obs).
+	Metrics *obs.Registry
 }
 
 // NewAdapter builds an FPL adapter for the instance. gamma is the intended
@@ -49,6 +73,13 @@ type Adapter struct {
 // fraction; together they set eps = sqrt(D/(R*A*gamma)) per Theorem 3.1,
 // with D = M*N*L and R = A = sum_ik T_ik^items * maxdrop.
 func NewAdapter(inst *nips.Instance, gamma int, maxdrop float64, seed int64) *Adapter {
+	return NewAdapterOpts(inst, AdapterOptions{Horizon: gamma, MaxDrop: maxdrop, Seed: seed})
+}
+
+// NewAdapterOpts builds an FPL adapter from an options struct; see
+// AdapterOptions for the Theorem 3.1 constants the fields control.
+func NewAdapterOpts(inst *nips.Instance, opts AdapterOptions) *Adapter {
+	gamma, maxdrop := opts.Horizon, opts.MaxDrop
 	if gamma < 1 {
 		gamma = 1
 	}
@@ -69,10 +100,11 @@ func NewAdapter(inst *nips.Instance, gamma int, maxdrop float64, seed int64) *Ad
 		cum[i] = make([]float64, nPaths)
 	}
 	return &Adapter{
-		inst: inst,
-		Eps:  eps,
-		cum:  cum,
-		rng:  rand.New(rand.NewSource(seed)),
+		inst:    inst,
+		Eps:     eps,
+		cum:     cum,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		metrics: opts.Metrics,
 	}
 }
 
@@ -80,11 +112,14 @@ func NewAdapter(inst *nips.Instance, gamma int, maxdrop float64, seed int64) *Ad
 // the perturbed sum of observed states. The perturbation is drawn fresh
 // each epoch, guarding against adversaries who know the strategy.
 func (a *Adapter) Decide() (*Decision, error) {
+	sp := a.metrics.StartSpan("online.decide_ns")
+	defer sp.End()
+	a.metrics.Add("online.decisions", 1)
 	perturb := func(i, k, pos int) float64 {
 		return a.rng.Float64() / a.Eps
 	}
 	weights := func(i, k int) float64 { return a.cum[i][k] }
-	return solveLambda(a.inst, weights, perturb)
+	return solveLambda(a.inst, weights, perturb, a.metrics)
 }
 
 // Observe reveals epoch t's true match rates (after the decision, as the
@@ -134,7 +169,7 @@ func BestStatic(inst *nips.Instance, epochs [][][]float64) (*Decision, float64, 
 			}
 		}
 	}
-	d, err := solveLambda(inst, func(i, k int) float64 { return sum[i][k] }, nil)
+	d, err := solveLambda(inst, func(i, k int) float64 { return sum[i][k] }, nil, nil)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -147,8 +182,8 @@ func BestStatic(inst *nips.Instance, epochs [][][]float64) (*Decision, float64, 
 
 // solveLambda is the optimization procedure Lambda: maximize the weighted
 // Eq. (7) objective subject to the capacity and coverage constraints (no
-// TCAM, so no integral variables). perturb may be nil.
-func solveLambda(inst *nips.Instance, weight func(i, k int) float64, perturb func(i, k, pos int) float64) (*Decision, error) {
+// TCAM, so no integral variables). perturb and metrics may be nil.
+func solveLambda(inst *nips.Instance, weight func(i, k int) float64, perturb func(i, k, pos int) float64, metrics *obs.Registry) (*Decision, error) {
 	p := lp.New(lp.Maximize)
 	n := inst.Topo.N()
 	memTerms := make([][]lp.Term, n)
@@ -182,7 +217,7 @@ func solveLambda(inst *nips.Instance, weight func(i, k int) float64, perturb fun
 			p.AddConstraint("cpu", cpuTerms[j], lp.LE, inst.CPUCap[j])
 		}
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveOpts(lp.Options{Metrics: metrics})
 	if err != nil {
 		return nil, fmt.Errorf("online: Lambda: %w", err)
 	}

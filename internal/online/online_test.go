@@ -98,7 +98,7 @@ func TestBestStaticDominatesArbitraryDecision(t *testing.T) {
 	}
 	// The hindsight optimum must beat the all-zero decision and any
 	// single-epoch-greedy decision evaluated over the whole horizon.
-	greedy, err := solveLambda(inst, func(i, k int) float64 { return epochs[0][i][k] }, nil)
+	greedy, err := solveLambda(inst, func(i, k int) float64 { return epochs[0][i][k] }, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestBestStaticDominatesArbitraryDecision(t *testing.T) {
 
 func TestRewardLinearity(t *testing.T) {
 	inst := onlineInstance(t, 3, 6)
-	dec, err := solveLambda(inst, func(i, k int) float64 { return 1 }, nil)
+	dec, err := solveLambda(inst, func(i, k int) float64 { return 1 }, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

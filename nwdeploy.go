@@ -30,16 +30,38 @@
 // from-scratch bounded-variable simplex solver; internal/bro a Bro-like
 // NIDS pipeline simulator; internal/topology and internal/traffic the
 // evaluation substrates); this package re-exports the stable surface.
+//
+// # Observability
+//
+// The planners accept an optional *Metrics registry (NewMetrics) in their
+// options structs. The registry is strictly write-only instrumentation:
+// a nil registry is the fully functional no-op default — every handle it
+// returns is nil-safe, no clock is read, and planner outputs are
+// byte-identical with or without one. Pass a registry only when you want
+// solver counters (simplex pivots, rounding trials, TCAM repairs) and
+// wall-time histograms; snapshot it with Metrics.WriteFile or publish it
+// through expvar with Metrics.Publish.
 package nwdeploy
 
 import (
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/hashing"
 	"nwdeploy/internal/nips"
+	"nwdeploy/internal/obs"
 	"nwdeploy/internal/online"
 	"nwdeploy/internal/topology"
 	"nwdeploy/internal/traffic"
 )
+
+// Metrics is an optional, allocation-light metrics registry (counters,
+// gauges, log-scale histograms, span timers). The zero value for a
+// *Metrics — nil — is the no-op registry: it accepts every operation and
+// records nothing, so instrumented code needs no guards. See the package
+// comment's Observability section for the non-interference contract.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty live registry to pass in an options struct.
+func NewMetrics() *Metrics { return obs.New() }
 
 // Re-exported model types. See the internal packages for full
 // documentation of each.
@@ -118,12 +140,16 @@ var (
 func GravityMatrix(t *Topology) TrafficMatrix { return traffic.Gravity(t) }
 
 // GenerateSessions synthesizes a session workload from a topology and
-// traffic matrix with the default mixed protocol profile.
+// traffic matrix with the default mixed protocol profile. Generation is
+// deterministic: the same topology, matrix, count, and seed always yield
+// the same sessions, independent of GOMAXPROCS or any Workers setting
+// elsewhere in the API.
 func GenerateSessions(t *Topology, m TrafficMatrix, n int, seed int64) []Session {
 	return traffic.Generate(t, m, traffic.GenConfig{Sessions: n, Seed: seed})
 }
 
-// UniformCaps gives every node the same CPU and memory capacity.
+// UniformCaps gives every node the same CPU and memory capacity. It is a
+// pure constructor — the returned slice depends only on its arguments.
 func UniformCaps(n int, cpu, mem float64) []NodeResources {
 	return core.UniformCaps(n, cpu, mem)
 }
@@ -134,11 +160,42 @@ func BuildNIDSInstance(t *Topology, classes []Class, sessions []Session, caps []
 	return core.BuildInstance(t, classes, sessions, caps)
 }
 
-// PlanNIDS solves the placement LP at coverage level r (r = 1 is the base
-// formulation; r > 1 replicates every analysis at r distinct nodes for
-// fault tolerance) and returns the plan with per-node sampling manifests.
-func PlanNIDS(inst *NIDSInstance, r int) (*NIDSPlan, error) {
-	return core.Solve(inst, r)
+// NIDSOptions parameterizes PlanNIDS. The zero value solves the paper's
+// base formulation: coverage level 1, no aggregation budget, no metrics.
+type NIDSOptions struct {
+	// Redundancy is the coverage level r: each analysis is replicated at
+	// r distinct nodes for fault tolerance (Section 2.5). Values below 1
+	// select the base formulation's r = 1.
+	Redundancy int
+	// Aggregation, when non-nil, adds the Section 5 communication-budget
+	// constraint for shipping per-item digests to a collector node.
+	Aggregation *AggregationConfig
+	// Workers is reserved for future parallel solves; the placement LP is
+	// a single simplex run today, so it is currently unused.
+	Workers int
+	// Metrics, when non-nil, receives solver counters and wall-time
+	// spans. The returned plan is byte-identical with or without it.
+	Metrics *Metrics
+}
+
+// PlanNIDS solves the placement LP and returns the plan with per-node
+// sampling manifests. The plan's Stats field carries deterministic solver
+// counters (simplex pivots per phase, presolve eliminations).
+func PlanNIDS(inst *NIDSInstance, opts NIDSOptions) (*NIDSPlan, error) {
+	return core.SolveOpts(inst, core.SolveOptions{
+		Redundancy:  opts.Redundancy,
+		Aggregation: opts.Aggregation,
+		Workers:     opts.Workers,
+		Metrics:     opts.Metrics,
+	})
+}
+
+// PlanNIDSWithRedundancy solves the placement LP at coverage level r.
+//
+// Deprecated: use PlanNIDS with NIDSOptions{Redundancy: r}. This wrapper
+// remains for callers of the original positional signature.
+func PlanNIDSWithRedundancy(inst *NIDSInstance, r int) (*NIDSPlan, error) {
+	return PlanNIDS(inst, NIDSOptions{Redundancy: r})
 }
 
 // NIPSVariant selects the approximation algorithm for PlanNIPS.
@@ -166,28 +223,126 @@ func BuildNIPSInstance(t *Topology, rules []Rule, cfg NIPSConfig) *NIPSInstance 
 	return nips.NewInstance(t, rules, cfg)
 }
 
-// PlanNIPS runs the selected approximation variant with the given number
-// of independent rounding iterations and returns the best deployment
-// together with the LP upper bound it is measured against. The rounding
-// sweep runs on a GOMAXPROCS-sized worker pool; the result is identical to
-// a serial sweep for the same seed (see nips.SolveOptions).
-func PlanNIPS(inst *NIPSInstance, variant NIPSVariant, iters int, seed int64) (*NIPSDeployment, float64, error) {
-	dep, rel, err := nips.Solve(inst, nips.SolveOptions{Variant: variant, Iters: iters, Seed: seed})
+// NIPSStats carries the deterministic counters of one PlanNIPS run:
+// rounding iterations and trials, TCAM repairs, LP re-solves, and the
+// best-objective trajectory across iterations.
+type NIPSStats = nips.SolveStats
+
+// NIPSOptions parameterizes PlanNIPS. The zero value runs one iteration
+// of the basic Figure 9 rounding with seed 0 on a GOMAXPROCS pool.
+type NIPSOptions struct {
+	// Variant selects the approximation algorithm (NIPSRounding,
+	// NIPSRoundingLP, or NIPSRoundingGreedyLP).
+	Variant NIPSVariant
+	// Iters is the number of independent rounding iterations; the best
+	// deployment wins. Values below 1 select 1.
+	Iters int
+	// Seed drives the rounding randomness. The same seed yields the same
+	// deployment for every Workers setting.
+	Seed int64
+	// Workers sizes the worker pool the rounding sweep fans out on: 0
+	// selects GOMAXPROCS, 1 the serial path.
+	Workers int
+	// Metrics, when non-nil, receives solver counters and wall-time
+	// spans. The result is byte-identical with or without it.
+	Metrics *Metrics
+}
+
+// NIPSResult is a solved NIPS deployment with its quality measures.
+type NIPSResult struct {
+	// Deployment is the best integral rule placement found.
+	Deployment *NIPSDeployment
+	// LPBound is the LP relaxation's objective — the upper bound the
+	// paper measures approximation quality against.
+	LPBound float64
+	// Gap is the relative shortfall (LPBound - Objective) / LPBound, in
+	// [0, 1]; the paper's regime achieves Gap <= 0.08. Zero when the
+	// bound is zero.
+	Gap float64
+	// Stats holds the run's deterministic solver counters.
+	Stats NIPSStats
+}
+
+// PlanNIPS runs the selected approximation variant and returns the best
+// deployment together with the LP upper bound it is measured against. The
+// rounding sweep runs on the configured worker pool; the result is
+// identical to a serial sweep for the same seed.
+func PlanNIPS(inst *NIPSInstance, opts NIPSOptions) (*NIPSResult, error) {
+	res, err := nips.SolveDetailed(inst, nips.SolveOptions{
+		Variant: opts.Variant,
+		Iters:   opts.Iters,
+		Seed:    opts.Seed,
+		Workers: opts.Workers,
+		Metrics: opts.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &NIPSResult{
+		Deployment: res.Deployment,
+		LPBound:    res.Relaxation.Objective,
+		Stats:      res.Stats,
+	}
+	if out.LPBound > 0 {
+		out.Gap = (out.LPBound - res.Deployment.Objective) / out.LPBound
+	}
+	return out, nil
+}
+
+// PlanNIPSWithVariant runs the selected approximation variant with the
+// given number of rounding iterations and returns the best deployment and
+// the LP upper bound.
+//
+// Deprecated: use PlanNIPS with NIPSOptions; it additionally reports the
+// approximation gap and solve statistics. This wrapper remains for
+// callers of the original positional signature.
+func PlanNIPSWithVariant(inst *NIPSInstance, variant NIPSVariant, iters int, seed int64) (*NIPSDeployment, float64, error) {
+	res, err := PlanNIPS(inst, NIPSOptions{Variant: variant, Iters: iters, Seed: seed})
 	if err != nil {
 		return nil, 0, err
 	}
-	return dep, rel.Objective, nil
+	return res.Deployment, res.LPBound, nil
 }
 
 // AdaptiveNIPS is the online (follow-the-perturbed-leader) NIPS deployer.
 type AdaptiveNIPS = online.Adapter
 
+// AdaptiveOptions parameterizes NewAdaptiveNIPS. Horizon is the intended
+// number of epochs and MaxDrop a conservative bound on the droppable
+// traffic fraction; together they set the perturbation scale per
+// Theorem 3.1 (zero values select a one-epoch horizon and 1%).
+type AdaptiveOptions struct {
+	Horizon int
+	MaxDrop float64
+	// Seed drives the per-epoch perturbation draws.
+	Seed int64
+	// Workers is reserved; the exact per-epoch optimizer is a single LP
+	// solve today.
+	Workers int
+	// Metrics, when non-nil, receives per-decision solver counters and
+	// timing. The decision sequence is identical with or without it.
+	Metrics *Metrics
+}
+
 // NewAdaptiveNIPS builds an FPL adapter for an instance (TCAM constraints
-// are ignored, per the paper's Section 3.5 setting). gamma is the intended
-// horizon and maxdrop a conservative bound on the droppable traffic
-// fraction; they set the perturbation scale per Theorem 3.1.
-func NewAdaptiveNIPS(inst *NIPSInstance, gamma int, maxdrop float64, seed int64) *AdaptiveNIPS {
-	return online.NewAdapter(inst, gamma, maxdrop, seed)
+// are ignored, per the paper's Section 3.5 setting).
+func NewAdaptiveNIPS(inst *NIPSInstance, opts AdaptiveOptions) *AdaptiveNIPS {
+	return online.NewAdapterOpts(inst, online.AdapterOptions{
+		Horizon: opts.Horizon,
+		MaxDrop: opts.MaxDrop,
+		Seed:    opts.Seed,
+		Workers: opts.Workers,
+		Metrics: opts.Metrics,
+	})
+}
+
+// NewAdaptiveNIPSWithHorizon builds an FPL adapter with positional
+// Theorem 3.1 parameters.
+//
+// Deprecated: use NewAdaptiveNIPS with AdaptiveOptions. This wrapper
+// remains for callers of the original positional signature.
+func NewAdaptiveNIPSWithHorizon(inst *NIPSInstance, gamma int, maxdrop float64, seed int64) *AdaptiveNIPS {
+	return NewAdaptiveNIPS(inst, AdaptiveOptions{Horizon: gamma, MaxDrop: maxdrop, Seed: seed})
 }
 
 // Operational extensions (the paper's Section 5 discussion points).
@@ -217,9 +372,10 @@ func PlanTransition(oldPlan, newPlan *NIDSPlan) (*Transition, error) {
 
 // PlanNIDSWithAggregation solves the placement LP with a communication
 // budget for shipping per-item digests to a collector node (Section 5's
-// aggregated-analysis extension).
+// aggregated-analysis extension). It is equivalent to PlanNIDS with
+// NIDSOptions{Redundancy: r, Aggregation: &agg}.
 func PlanNIDSWithAggregation(inst *NIDSInstance, r int, agg AggregationConfig) (*NIDSPlan, error) {
-	return core.SolveWithAggregation(inst, r, agg)
+	return PlanNIDS(inst, NIDSOptions{Redundancy: r, Aggregation: &agg})
 }
 
 // GreedyNIDSPlan is the non-optimizing baseline: each coordination unit

@@ -18,7 +18,7 @@ func TestPublicAPINIDS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := PlanNIDS(inst, 1)
+	plan, err := PlanNIDS(inst, NIDSOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,12 +46,19 @@ func TestPublicAPINIPS(t *testing.T) {
 		RuleCapacityFraction: 0.2,
 		MatchSeed:            5,
 	})
-	dep, optLP, err := PlanNIPS(inst, NIPSRoundingGreedyLP, 3, 11)
+	res, err := PlanNIPS(inst, NIPSOptions{Variant: NIPSRoundingGreedyLP, Iters: 3, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
+	dep, optLP := res.Deployment, res.LPBound
 	if dep.Objective <= 0 || optLP < dep.Objective-1e-6 {
 		t.Fatalf("objective %v vs OptLP %v", dep.Objective, optLP)
+	}
+	if res.Gap < 0 || res.Gap > 1 {
+		t.Fatalf("gap %v outside [0, 1]", res.Gap)
+	}
+	if res.Stats.Iterations != 3 || res.Stats.Trials < 3 {
+		t.Fatalf("stats %+v, want 3 iterations and >= 3 trials", res.Stats)
 	}
 	if err := dep.Verify(inst); err != nil {
 		t.Fatal(err)
@@ -65,7 +72,7 @@ func TestPublicAPIAdaptive(t *testing.T) {
 		RuleCapacityFraction: 1,
 		MatchSeed:            2,
 	})
-	ad := NewAdaptiveNIPS(inst, 20, 0.01, 3)
+	ad := NewAdaptiveNIPS(inst, AdaptiveOptions{Horizon: 20, MaxDrop: 0.01, Seed: 3})
 	if _, err := ad.Decide(); err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +92,7 @@ func TestPublicAPIExtensions(t *testing.T) {
 
 	// Greedy baseline is never better than the LP.
 	greedy := GreedyNIDSPlan(inst)
-	lpPlan, err := PlanNIDS(inst, 1)
+	lpPlan, err := PlanNIDS(inst, NIDSOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +115,7 @@ func TestPublicAPIExtensions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan2, err := PlanNIDS(inst2, 1)
+	plan2, err := PlanNIDS(inst2, NIDSOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,11 +142,11 @@ func TestPublicAPIExtensions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dep, _, err := PlanNIPS(ninst, NIPSRoundingGreedyLP, 3, 2)
+	nres, err := PlanNIPS(ninst, NIPSOptions{Variant: NIPSRoundingGreedyLP, Iters: 3, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dep.Objective > exact.Objective+1e-6 {
-		t.Fatalf("approximation %v beat exact %v", dep.Objective, exact.Objective)
+	if nres.Deployment.Objective > exact.Objective+1e-6 {
+		t.Fatalf("approximation %v beat exact %v", nres.Deployment.Objective, exact.Objective)
 	}
 }

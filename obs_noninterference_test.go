@@ -1,0 +1,140 @@
+package nwdeploy
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The observability contract of the public surface: a live Metrics
+// registry is write-only instrumentation, so every planner must return
+// byte-identical results with and without one. These tests are the
+// acceptance gate for any new instrumentation — if a counter ever leaks
+// into a returned struct through a non-deterministic path (wall time,
+// scheduling), they fail.
+
+func nidsTestInstance(t *testing.T) *NIDSInstance {
+	t.Helper()
+	topo := Internet2()
+	tm := GravityMatrix(topo)
+	sessions := GenerateSessions(topo, tm, 3000, 13)
+	classes := []Class{
+		{Name: "signature", CPUPerPkt: 1, MemPerItem: 400},
+		{Name: "http", Ports: []uint16{80}, CPUPerPkt: 2, MemPerItem: 600},
+	}
+	inst, err := BuildNIDSInstance(topo, classes, sessions, UniformCaps(topo.N(), 1e7, 1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestPlanNIDSMetricsNonInterference(t *testing.T) {
+	inst := nidsTestInstance(t)
+	plain, err := PlanNIDS(inst, NIDSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics()
+	live, err := PlanNIDS(inst, NIDSOptions{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, live) {
+		t.Fatal("live registry changed the NIDS plan")
+	}
+	if m.Counter("lp.solves").Value() == 0 {
+		t.Fatal("registry recorded no LP solves; instrumentation dead")
+	}
+	if plain.Stats.Phase1Iters+plain.Stats.Phase2Iters == 0 {
+		t.Fatal("plan carries no solver stats")
+	}
+
+	// The aggregation path must honor the same contract.
+	agg := AggregationConfig{Collector: 6, BytesPerItem: 64, Budget: 1e18}
+	plainAgg, err := PlanNIDS(inst, NIDSOptions{Aggregation: &agg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveAgg, err := PlanNIDS(inst, NIDSOptions{Aggregation: &agg, Metrics: NewMetrics()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plainAgg, liveAgg) {
+		t.Fatal("live registry changed the aggregation-budgeted plan")
+	}
+}
+
+func TestPlanNIPSMetricsNonInterference(t *testing.T) {
+	inst := BuildNIPSInstance(Geant(), UnitRules(10), NIPSConfig{
+		MaxPaths:             10,
+		RuleCapacityFraction: 0.2,
+		MatchSeed:            5,
+	})
+	opts := NIPSOptions{Variant: NIPSRoundingGreedyLP, Iters: 3, Seed: 11}
+	plain, err := PlanNIPS(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics()
+	opts.Metrics = m
+	live, err := PlanNIPS(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, live) {
+		t.Fatal("live registry changed the NIPS result")
+	}
+	if m.Counter("nips.round_trials").Value() == 0 {
+		t.Fatal("registry recorded no rounding trials; instrumentation dead")
+	}
+
+	// The same seed must also survive a Workers change with metrics on.
+	opts.Workers = 4
+	opts.Metrics = NewMetrics()
+	parallel, err := PlanNIPS(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, parallel) {
+		t.Fatal("parallel instrumented run diverged from the serial plain run")
+	}
+}
+
+// TestDeprecatedWrappersAgree pins the compatibility contract: the old
+// positional entry points must return exactly what the options-struct
+// forms do.
+func TestDeprecatedWrappersAgree(t *testing.T) {
+	inst := nidsTestInstance(t)
+	viaOpts, err := PlanNIDS(inst, NIDSOptions{Redundancy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaWrapper, err := PlanNIDSWithRedundancy(inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaOpts, viaWrapper) {
+		t.Fatal("PlanNIDSWithRedundancy diverged from PlanNIDS")
+	}
+
+	ninst := BuildNIPSInstance(Internet2(), UnitRules(6), NIPSConfig{
+		MaxPaths:             6,
+		RuleCapacityFraction: 0.3,
+		MatchSeed:            9,
+	})
+	res, err := PlanNIPS(ninst, NIPSOptions{Variant: NIPSRoundingLP, Iters: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, bound, err := PlanNIPSWithVariant(ninst, NIPSRoundingLP, 2, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Deployment, dep) || res.LPBound != bound {
+		t.Fatal("PlanNIPSWithVariant diverged from PlanNIPS")
+	}
+
+	if ad := NewAdaptiveNIPSWithHorizon(ninst, 10, 0.01, 4); ad == nil {
+		t.Fatal("NewAdaptiveNIPSWithHorizon returned nil")
+	}
+}
