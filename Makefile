@@ -18,9 +18,13 @@ vet:
 # Race tier: vet plus the full suite under the race detector. The parallel
 # determinism tests (Workers: 4 against Workers: 1) run their worker pools
 # here, so data races in the sharded engine, the solver sweep, or the
-# experiment grids are caught even on single-core hosts.
+# experiment grids are caught even on single-core hosts. The chaos and
+# cluster packages rerun uncached (-count=1): they exercise real TCP,
+# per-agent fault streams, and the gate/outage machinery, where fresh
+# scheduling each run is the point.
 race: vet
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/chaos/ ./internal/cluster/
 
 # Bench tier: every figure/table benchmark plus the obs micro-benchmarks,
 # with allocation reporting. Also replays the quick experiment suite with a
@@ -30,4 +34,6 @@ race: vet
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) test -bench=. -benchmem ./internal/obs/
+	$(GO) test -bench=ClusterConverge -benchmem ./internal/cluster/
 	$(GO) run ./cmd/experiments -quick -metrics BENCH_obs.json >/dev/null
+	$(GO) run ./cmd/cluster -sessions 2000 -epochs 6 -metrics BENCH_cluster.json >/dev/null

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-workers n] [-only fig5,fig6,fig7,fig8,fig10,fig11,opttime,redundancy,ablations,adversaries]
+//	experiments [-quick] [-workers n] [-only fig5,fig6,fig7,fig8,fig10,fig11,opttime,redundancy,ablations,adversaries,chaos]
 //	            [-metrics run.json] [-pprof 127.0.0.1:6060]
 //
 // With -quick the reduced workload sizes are used (seconds per experiment);
@@ -77,6 +77,7 @@ func main() {
 		{"ablations", ablations},
 		{"adversaries", adversaries},
 		{"provisioning", provisioning},
+		{"chaos", chaosResilience},
 	}
 	var selected []runner
 	for _, r := range all {
@@ -268,6 +269,23 @@ func fig10robustness(cfg experiments.Config) (string, error) {
 	fmt.Fprintln(&b, "distribution\tvariant\tmean_frac_of_optlp")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%s\t%s\t%.4f\n", r.Dist, r.Variant, r.Mean)
+	}
+	return b.String(), nil
+}
+
+func chaosResilience(cfg experiments.Config) (string, error) {
+	rows, err := experiments.Chaos(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	header(&b, "Chaos resilience", "cluster runtime under seeded fault injection: coverage achieved vs the Section 2.5 prediction, per epoch")
+	fmt.Fprintln(&b, "scenario\tr\tepoch\tctrl_down\tdown_nodes\tsynced\tstale\tdark\tfetch_attempts\tfetch_failures\talerts\tworst_cov\tavg_cov\tpredicted_worst")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s\t%d\t%d\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.4f\t%.4f\t%.4f\n",
+			r.Scenario, r.Redundancy, r.Epoch, r.ControllerDown, r.DownNodes,
+			r.Synced, r.Stale, r.Dark, r.FetchAttempts, r.FetchFailures, r.Alerts,
+			r.WorstCoverage, r.AvgCoverage, r.PredictedWorst)
 	}
 	return b.String(), nil
 }

@@ -1,0 +1,143 @@
+package bro
+
+import (
+	"reflect"
+	"testing"
+
+	"nwdeploy/internal/control"
+	"nwdeploy/internal/core"
+	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/topology"
+	"nwdeploy/internal/traffic"
+)
+
+// planDecider replays the planner's own Figure 3 decision through the
+// ManifestDecider interface — the minimal stub proving the engine treats
+// the two manifest sources identically.
+type planDecider struct {
+	plan   *core.Plan
+	node   int
+	hasher hashing.Hasher
+}
+
+func (d planDecider) ShouldAnalyze(class int, s traffic.Session) bool {
+	return d.plan.ShouldAnalyze(d.node, class, s, d.hasher)
+}
+
+// solvedScenario builds a solved coordinated deployment over Internet2 for
+// the decider tests.
+func solvedScenario(t *testing.T) (*topology.Topology, []ModuleSpec, []traffic.Session, *core.Plan) {
+	t.Helper()
+	topo := topology.Internet2()
+	modules := StandardModules()[1:]
+	sessions := mixedTrace(t, 2500)
+	inst, err := core.BuildInstance(topo, Classes(modules), sessions, core.UniformCaps(topo.N(), 1e9, 1e12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.Solve(inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, modules, sessions, plan
+}
+
+// nodeTraceFor filters the sessions node j observes in a coordinated
+// deployment (origin, terminus, or transit), mirroring Emulation.nodeTrace.
+func nodeTraceFor(topo *topology.Topology, sessions []traffic.Session, j int) []traffic.Session {
+	paths := topo.PathMatrix()
+	var out []traffic.Session
+	for _, s := range sessions {
+		for _, n := range paths[s.Src][s.Dst] {
+			if n == j {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// An engine driven by a ManifestDecider must reproduce the plan-driven
+// report exactly — including the early-drop and fine-grained paths, which
+// gate on the presence of a manifest — since that equivalence is what lets
+// a cluster node run from a fetched wire manifest alone.
+func TestDeciderMatchesPlanReports(t *testing.T) {
+	topo, modules, sessions, plan := solvedScenario(t)
+	hasher := hashing.Hasher{Key: 7}
+	for _, fineGrained := range []bool{false, true} {
+		for j := 0; j < topo.N(); j++ {
+			trace := nodeTraceFor(topo, sessions, j)
+			base := Config{
+				Mode: ModeCoordEvent, Modules: modules, Hasher: hasher,
+				FineGrained: fineGrained, Workers: 1,
+			}
+			viaPlan := base
+			viaPlan.Plan, viaPlan.Node = plan, j
+			viaDecider := base
+			viaDecider.Node = j
+			viaDecider.Decider = planDecider{plan: plan, node: j, hasher: hasher}
+			got, want := Run(viaDecider, trace), Run(viaPlan, trace)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("fineGrained=%v node %d: decider report %+v != plan report %+v",
+					fineGrained, j, got, want)
+			}
+		}
+	}
+}
+
+// The same equivalence must hold when the decider is the real wire-manifest
+// Decider from internal/control — the exact object a cluster agent fetches —
+// and must survive module-lane sharding.
+func TestWireDeciderMatchesPlanReports(t *testing.T) {
+	topo, modules, sessions, plan := solvedScenario(t)
+	const key = 7
+	hasher := hashing.Hasher{Key: key}
+	for j := 0; j < topo.N(); j++ {
+		m, err := control.ManifestFromPlan(plan, j, 1, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := nodeTraceFor(topo, sessions, j)
+		for _, workers := range []int{1, 4} {
+			viaPlan := Run(Config{
+				Mode: ModeCoordEvent, Modules: modules, Hasher: hasher,
+				Plan: plan, Node: j, Workers: workers,
+			}, trace)
+			viaWire := Run(Config{
+				Mode: ModeCoordEvent, Modules: modules, Hasher: hasher,
+				Decider: control.NewDecider(m), Node: j, Workers: workers,
+			}, trace)
+			if !reflect.DeepEqual(viaWire, viaPlan) {
+				t.Fatalf("node %d workers %d: wire-decider report %+v != plan report %+v",
+					j, workers, viaWire, viaPlan)
+			}
+		}
+	}
+}
+
+// A decider on a standalone instance must still be treated as a manifest:
+// sessions it rejects entirely are dropped before connection setup, unlike
+// the nil-manifest default that analyzes everything.
+func TestDeciderEnablesEarlyDrop(t *testing.T) {
+	modules := []ModuleSpec{moduleByName(t, "signature")}
+	sessions := mixedTrace(t, 500)
+	none := rejectAll{}
+	rep := Run(Config{Mode: ModeCoordEvent, Modules: modules, Hasher: hashing.Hasher{Key: 7},
+		Decider: none, Workers: 1}, sessions)
+	if rep.Conns != 0 {
+		t.Fatalf("reject-all decider still created %d connections", rep.Conns)
+	}
+	if rep.Observed != len(sessions) {
+		t.Fatalf("observed %d sessions, want %d (capture cost is unavoidable)", rep.Observed, len(sessions))
+	}
+	open := Run(Config{Mode: ModeCoordEvent, Modules: modules, Hasher: hashing.Hasher{Key: 7},
+		Workers: 1}, sessions)
+	if open.Conns == 0 {
+		t.Fatal("standalone nil-manifest run should create connection state")
+	}
+}
+
+type rejectAll struct{}
+
+func (rejectAll) ShouldAnalyze(int, traffic.Session) bool { return false }

@@ -41,6 +41,14 @@ const (
 	tableEntryBytes = 40
 )
 
+// ManifestDecider resolves whether the node analyzes a session for a
+// class. internal/control.Decider implements it; the indirection lets a
+// cluster node drive the engine from a fetched wire manifest without
+// importing the planner.
+type ManifestDecider interface {
+	ShouldAnalyze(class int, s traffic.Session) bool
+}
+
 // Mode selects the engine variant being benchmarked.
 type Mode int
 
@@ -80,6 +88,11 @@ type Config struct {
 	// the traffic").
 	Plan *core.Plan
 	Node int
+	// Decider, when non-nil, supplies the Figure 3 manifest decision in
+	// place of Plan — the data path a distributed node runs from a wire
+	// manifest alone (see internal/control.Decider), with no access to
+	// the planner's objects. Class indices must align with Modules.
+	Decider ManifestDecider
 	// Hasher supplies the (optionally keyed) packet-selection hash.
 	Hasher hashing.Hasher
 	// FineGrained enables the Section 2.5 extension: modules marked
@@ -313,10 +326,20 @@ func precomputePasses(cfg Config, sessions []traffic.Session, workers int) []boo
 
 // analyzes resolves the Figure 3 manifest decision for one module.
 func (e *engine) analyzes(mi int, s traffic.Session) bool {
+	if e.cfg.Decider != nil {
+		return e.cfg.Decider.ShouldAnalyze(mi, s)
+	}
 	if e.cfg.Plan == nil {
 		return true // standalone: manifest covers everything
 	}
 	return e.cfg.Plan.ShouldAnalyze(e.cfg.Node, mi, s, e.cfg.Hasher)
+}
+
+// hasManifest reports whether the instance enforces a real (partial)
+// manifest — via the planner's Plan or a wire Decider — as opposed to the
+// standalone all-traffic default.
+func (e *engine) hasManifest() bool {
+	return e.cfg.Plan != nil || e.cfg.Decider != nil
 }
 
 // checkStage returns where module mi's coordination check executes under
@@ -378,14 +401,14 @@ func (e *engine) processSession(si int, s traffic.Session) {
 	// Unmodified Bro has no such check and always creates connection
 	// state; a standalone coordinated instance's manifest covers all
 	// traffic, so nothing is droppable there either.
-	if coordinated && e.cfg.Plan != nil && !anyPass {
+	if coordinated && e.hasManifest() && !anyPass {
 		return
 	}
 
 	// Fine-grained coordination (Section 2.5): when every module this node
 	// analyzes the session for needs only its first packet, serve them
 	// from a first-packet event and skip connection tracking entirely.
-	if e.cfg.FineGrained && coordinated && e.cfg.Plan != nil && e.fineGrainedOnly(passes) {
+	if e.cfg.FineGrained && coordinated && e.hasManifest() && e.fineGrainedOnly(passes) {
 		if e.sessionOwner {
 			e.rep.CPUUnits += connPktCost // classify the first packet once
 		}

@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"nwdeploy/internal/bro"
+	"nwdeploy/internal/chaos"
+	"nwdeploy/internal/control"
+	"nwdeploy/internal/topology"
+	"nwdeploy/internal/traffic"
+)
+
+// BenchmarkClusterConverge measures one full control-plane convergence
+// round — a plan re-stamp followed by every agent re-fetching its
+// manifest through a lossy network with retries — the recurring cost of
+// the paper's periodic re-optimization cadence.
+func BenchmarkClusterConverge(b *testing.B) {
+	topo := topology.Internet2()
+	sessions := traffic.Generate(topo, traffic.Gravity(topo), traffic.GenConfig{Sessions: 800, Seed: 7})
+	c, err := New(Options{
+		Topo: topo, Modules: bro.StandardModules()[1:], Sessions: sessions,
+		Seed:   41,
+		Faults: chaos.NetworkFaults{DropProb: 0.2},
+		Retry:  RetryPolicy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		Agent:  control.AgentOptions{DialTimeout: 100 * time.Millisecond, RPCTimeout: 100 * time.Millisecond},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.BumpEpoch()
+		if synced := c.Converge(); synced != topo.N() {
+			b.Fatalf("converged %d/%d agents", synced, topo.N())
+		}
+	}
+}

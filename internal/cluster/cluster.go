@@ -1,0 +1,394 @@
+// Package cluster is an in-process multi-node runtime for the paper's
+// deployment architecture: one control.Controller serving sampling
+// manifests over real TCP, and one agent per monitoring node that fetches
+// its manifest through a (possibly fault-injected) network and drives the
+// bro emulation engine over the node's share of the traffic. Layered on
+// top, CoverageUnderChaos replays a seeded fault schedule — node crashes,
+// controller outages, lossy links — and audits the coverage the paper's
+// Section 2.5 redundancy extension actually delivers at runtime, epoch by
+// epoch, against the LP's static guarantee.
+//
+// Reports contain only logical quantities (epochs, counts, coverage
+// fractions), never wall-clock measurements, and every nondeterministic
+// input is derived from one seed (see internal/chaos), so two runs with
+// the same seed produce DeepEqual reports even though real sockets,
+// timeouts, and goroutine scheduling are involved.
+package cluster
+
+import (
+	"fmt"
+	"net"
+
+	"nwdeploy/internal/bro"
+	"nwdeploy/internal/chaos"
+	"nwdeploy/internal/control"
+	"nwdeploy/internal/core"
+	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/obs"
+	"nwdeploy/internal/parallel"
+	"nwdeploy/internal/topology"
+	"nwdeploy/internal/traffic"
+)
+
+// Options configures a Cluster. Topo, Modules, and Sessions are required;
+// zero values elsewhere select the documented defaults.
+type Options struct {
+	Topo     *topology.Topology
+	Modules  []bro.ModuleSpec
+	Sessions []traffic.Session
+	// Caps are per-node capacities (nil selects uniform 1e9/1e12, the
+	// unconstrained setting the emulation uses).
+	Caps []core.NodeResources
+	// Redundancy is the Section 2.5 coverage level r (0 selects 1). A
+	// plan solved with redundancy r keeps full coverage under any r-1
+	// concurrent node failures.
+	Redundancy int
+	// HashKey keys the deployment's packet-selection hash (0 selects 7).
+	HashKey uint32
+	// Seed drives every chaos decision: per-agent connection faults and
+	// backoff jitter all derive from it via seed splitting.
+	Seed int64
+	// Faults is the per-connection fault mix injected into every agent's
+	// dials (zero = clean network).
+	Faults chaos.NetworkFaults
+	// Retry shapes the agents' fetch loops.
+	Retry RetryPolicy
+	// Agent sets the agents' timeouts/metrics; its Dial, if any, becomes
+	// the real dial behind the fault injector.
+	Agent control.AgentOptions
+	// StaleGrace is how many consecutive failed-sync epochs an agent may
+	// keep enforcing its last manifest before going dark.
+	StaleGrace int
+	// Workers sizes the runtime's worker pools (0 = GOMAXPROCS, 1 =
+	// serial). Reports are identical for any value.
+	Workers int
+	// Probes is the per-unit probe count for coverage audits (0 selects
+	// 2000; use 10000 to match core.CoverageUnderFailure exactly).
+	Probes int
+	// Metrics, when non-nil, receives runtime observability (fetch
+	// attempt/retry/failure/timeout counters, staleness and coverage
+	// gauges, per-agent assigned width) in addition to the controller,
+	// agent, and engine metrics of the wrapped layers. Write-only:
+	// reports are identical with or without it.
+	Metrics *obs.Registry
+}
+
+// EpochReport is one epoch's outcome: the control-plane weather, what the
+// agents managed to fetch, what the engines analyzed, and the achieved
+// coverage versus the plan's static prediction. All fields are logical,
+// so same-seed runs agree exactly.
+type EpochReport struct {
+	// Epoch counts chaos epochs from 1; ControllerEpoch is the
+	// configuration generation the controller served during it.
+	Epoch           int
+	ControllerEpoch uint64
+	// ControllerDown and DownNodes echo the epoch's injected faults.
+	ControllerDown bool
+	DownNodes      []int
+	// AgentEpochs[j] is the manifest generation agent j enforced (0 =
+	// none: crashed, never synced, or dark past grace).
+	AgentEpochs []uint64
+	// SyncedAgents confirmed their manifest against the controller this
+	// epoch; StaleAgents are enforcing an unconfirmed one within grace;
+	// DarkAgents are up but analyzing nothing (no manifest, or stale
+	// beyond grace).
+	SyncedAgents, StaleAgents, DarkAgents int
+	// Fetch-loop totals across agents.
+	FetchAttempts, FetchFailures, FetchTimeouts int
+	// Data-plane outcome: alert total and the busiest engine's CPU cost.
+	Alerts int
+	MaxCPU float64
+	// Achieved coverage over the usable agents' wire manifests, and the
+	// plan's static prediction for the same failure set (both from
+	// core.ProbeCoverage at the same probe count, so when every
+	// surviving agent holds a current manifest the two match exactly).
+	WorstCoverage, AvgCoverage   float64
+	PredictedWorst, PredictedAvg float64
+}
+
+// Cluster is a running deployment: controller, gate, and agents.
+type Cluster struct {
+	opts   Options
+	inst   *core.Instance
+	plan   *core.Plan
+	ctrl   *control.Controller
+	gate   *chaos.Gate
+	agents []*NodeAgent
+	epoch  int
+
+	fetchAttemptC, fetchRetryC, fetchFailureC, fetchTimeoutC, epochC *obs.Counter
+	staleG, darkG, covWorstG, covAvgG                                *obs.Gauge
+}
+
+// New solves the placement for the given scenario, starts a controller on
+// a loopback port behind a chaos gate, installs the plan (epoch 1), and
+// builds one fault-injected agent per node with its coordinated-deployment
+// traffic share. Call Close when done.
+func New(opts Options) (*Cluster, error) {
+	for _, m := range opts.Modules {
+		if m.Name == "baseline" {
+			return nil, fmt.Errorf("cluster: baseline pseudo-module cannot be deployed")
+		}
+	}
+	if opts.Redundancy <= 0 {
+		opts.Redundancy = 1
+	}
+	if opts.HashKey == 0 {
+		opts.HashKey = 7
+	}
+	if opts.Probes <= 0 {
+		opts.Probes = 2000
+	}
+	n := opts.Topo.N()
+	caps := opts.Caps
+	if caps == nil {
+		caps = core.UniformCaps(n, 1e9, 1e12)
+	}
+	inst, err := core.BuildInstance(opts.Topo, bro.Classes(opts.Modules), opts.Sessions, caps)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := core.SolveOpts(inst, core.SolveOptions{Redundancy: opts.Redundancy, Metrics: opts.Metrics})
+	if err != nil {
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen: %w", err)
+	}
+	gate := chaos.NewGate(ln)
+	ctrl, err := control.NewControllerOpts("", control.ControllerOptions{
+		HashKey: opts.HashKey, Metrics: opts.Metrics, Listener: gate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctrl.UpdatePlan(plan)
+
+	c := &Cluster{
+		opts: opts, inst: inst, plan: plan, ctrl: ctrl, gate: gate,
+
+		fetchAttemptC: opts.Metrics.Counter("cluster.fetch_attempts"),
+		fetchRetryC:   opts.Metrics.Counter("cluster.fetch_retries"),
+		fetchFailureC: opts.Metrics.Counter("cluster.fetch_failures"),
+		fetchTimeoutC: opts.Metrics.Counter("cluster.fetch_timeouts"),
+		epochC:        opts.Metrics.Counter("cluster.epochs"),
+		staleG:        opts.Metrics.Gauge("cluster.stale_agents"),
+		darkG:         opts.Metrics.Gauge("cluster.dark_agents"),
+		covWorstG:     opts.Metrics.Gauge("cluster.coverage_worst"),
+		covAvgG:       opts.Metrics.Gauge("cluster.coverage_avg"),
+	}
+
+	// Per-agent fault streams and jitter seeds split off the one run seed;
+	// stream ids are node ids, so an agent's fault history is independent
+	// of every other agent's activity.
+	injector := chaos.NewInjector(parallel.SplitSeed(opts.Seed, 1), opts.Faults)
+	paths := opts.Topo.PathMatrix()
+	for j := 0; j < n; j++ {
+		agentOpts := opts.Agent
+		agentOpts.Metrics = opts.Metrics
+		dialer := &chaos.Dialer{Stream: injector.Stream(j), Next: chaos.DialFunc(opts.Agent.Dial)}
+		agentOpts.Dial = dialer.Dial
+		c.agents = append(c.agents, newNodeAgent(
+			j, ctrl.Addr(), agentOpts, opts.Retry, opts.StaleGrace,
+			parallel.SplitSeed(opts.Seed, int64(1000+j)), nodeTrace(paths, opts.Sessions, j),
+		))
+	}
+	return c, nil
+}
+
+// nodeTrace extracts node j's coordinated-deployment traffic share:
+// sessions originating, terminating, or transiting at j (mirroring
+// bro.Emulation's per-node traces).
+func nodeTrace(paths [][][]int, sessions []traffic.Session, j int) []traffic.Session {
+	var out []traffic.Session
+	for _, s := range sessions {
+		for _, n := range paths[s.Src][s.Dst] {
+			if n == j {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Close shuts the controller (and its gate/listener) down.
+func (c *Cluster) Close() error { return c.ctrl.Close() }
+
+// Plan returns the solved deployment plan.
+func (c *Cluster) Plan() *core.Plan { return c.plan }
+
+// Objective returns the LP optimum for the deployment.
+func (c *Cluster) Objective() float64 { return c.plan.Objective }
+
+// Agents returns the cluster's node agents, indexed by node id.
+func (c *Cluster) Agents() []*NodeAgent { return c.agents }
+
+// BumpEpoch re-stamps the current plan as a new configuration generation —
+// the operations center's periodic re-optimization round (the workload is
+// unchanged here, so the plan content is too, but agents must re-fetch).
+func (c *Cluster) BumpEpoch() { c.ctrl.UpdatePlan(c.plan) }
+
+// Converge runs one fault-free fetch phase (all agents up, gate forced
+// open) and reports how many agents hold a current manifest afterwards —
+// the cluster-formation step, and the benchmark's unit of work.
+func (c *Cluster) Converge() int {
+	c.gate.SetOpen(true)
+	c.fetchPhase()
+	synced := 0
+	for _, a := range c.agents {
+		if a.tally.synced {
+			synced++
+		}
+	}
+	return synced
+}
+
+// fetchPhase runs every up agent's retry loop concurrently. Each agent
+// mutates only its own state and draws only its own fault stream, so the
+// phase's outcome is schedule-independent.
+func (c *Cluster) fetchPhase() {
+	n := len(c.agents)
+	parallel.ForEach(parallel.Resolve(c.opts.Workers, n), n, func(j int) {
+		a := c.agents[j]
+		a.tally = epochTally{}
+		if a.down {
+			return
+		}
+		a.syncWithRetry()
+	})
+}
+
+// RunEpoch advances the cluster one chaos epoch: applies the epoch's
+// faults (crashing agents lose their manifests; a down controller drops
+// every exchange), runs the fetch phase, drives each usable agent's
+// engine over its traffic share, and audits achieved coverage against the
+// plan's static prediction for the same failure set.
+func (c *Cluster) RunEpoch(f chaos.EpochFaults) EpochReport {
+	c.epoch++
+	c.epochC.Add(1)
+	c.gate.SetOpen(!f.ControllerDown)
+	for j, a := range c.agents {
+		wasDown := a.down
+		a.down = f.Down(j)
+		if a.down && !wasDown {
+			// Crash: the process dies with its in-memory manifest.
+			a.restart()
+			a.staleEpochs = 0
+		}
+	}
+
+	rep := EpochReport{
+		Epoch:           c.epoch,
+		ControllerEpoch: c.ctrl.Epoch(),
+		ControllerDown:  f.ControllerDown,
+		DownNodes:       append([]int(nil), f.DownNodes...),
+		AgentEpochs:     make([]uint64, len(c.agents)),
+	}
+
+	c.fetchPhase()
+	for j, a := range c.agents {
+		rep.FetchAttempts += a.tally.attempts
+		if a.tally.attempts > 1 {
+			c.fetchRetryC.Add(int64(a.tally.attempts - 1))
+		}
+		rep.FetchFailures += a.tally.failures
+		rep.FetchTimeouts += a.tally.timeouts
+		if a.down {
+			continue
+		}
+		switch {
+		case a.tally.synced:
+			rep.SyncedAgents++
+		case a.Usable():
+			rep.StaleAgents++
+		default:
+			rep.DarkAgents++
+		}
+		if a.Usable() {
+			d := a.Decider()
+			rep.AgentEpochs[j] = d.Epoch()
+			c.opts.Metrics.Set(fmt.Sprintf("cluster.agent_width.%d", j), d.AssignedWidth())
+		} else {
+			c.opts.Metrics.Set(fmt.Sprintf("cluster.agent_width.%d", j), 0)
+		}
+	}
+	c.fetchAttemptC.Add(int64(rep.FetchAttempts))
+	c.fetchFailureC.Add(int64(rep.FetchFailures))
+	c.fetchTimeoutC.Add(int64(rep.FetchTimeouts))
+	c.staleG.Set(float64(rep.StaleAgents))
+	c.darkG.Set(float64(rep.DarkAgents))
+
+	c.dataPhase(&rep)
+	c.audit(&rep, f)
+	return rep
+}
+
+// dataPhase runs each usable agent's engine over its trace, exactly as a
+// deployed node enforces its fetched wire manifest: the engine sees only
+// the control.Decider, never the planner's objects.
+func (c *Cluster) dataPhase(rep *EpochReport) {
+	n := len(c.agents)
+	nodeWorkers := parallel.Resolve(c.opts.Workers, n)
+	engineWorkers := 1
+	if nodeWorkers == 1 {
+		engineWorkers = c.opts.Workers
+	}
+	reports := parallel.Map(nodeWorkers, n, func(j int) bro.Report {
+		a := c.agents[j]
+		if !a.Usable() {
+			return bro.Report{Node: j}
+		}
+		return bro.Run(bro.Config{
+			Mode:    bro.ModeCoordEvent,
+			Modules: c.opts.Modules,
+			Decider: a.Decider(),
+			Node:    j,
+			Hasher:  hashing.Hasher{Key: c.opts.HashKey},
+			Workers: engineWorkers,
+			Metrics: c.opts.Metrics,
+		}, a.trace)
+	})
+	for _, r := range reports {
+		rep.Alerts += r.Alerts
+		if r.CPUUnits > rep.MaxCPU {
+			rep.MaxCPU = r.CPUUnits
+		}
+	}
+}
+
+// audit measures the epoch's achieved coverage (what the usable agents'
+// wire manifests actually cover) and the plan's static prediction for the
+// same down set (core.CoverageUnderFailure's predicate), using the same
+// probe grid for both so the comparison is exact, not approximate.
+func (c *Cluster) audit(rep *EpochReport, f chaos.EpochFaults) {
+	units := c.inst.Units
+	rep.WorstCoverage, rep.AvgCoverage = core.ProbeCoverage(len(units), c.opts.Probes, func(ui int, x float64) bool {
+		u := units[ui]
+		for _, node := range u.Nodes {
+			a := c.agents[node]
+			if !a.Usable() {
+				continue
+			}
+			if a.Decider().CoversUnit(u.Class, u.Key, x) {
+				return true
+			}
+		}
+		return false
+	})
+	rep.PredictedWorst, rep.PredictedAvg = core.ProbeCoverage(len(units), c.opts.Probes, func(ui int, x float64) bool {
+		for _, node := range units[ui].Nodes {
+			if f.Down(node) {
+				continue
+			}
+			if c.plan.Manifests[node].Ranges[ui].Contains(x) {
+				return true
+			}
+		}
+		return false
+	})
+	c.covWorstG.Set(rep.WorstCoverage)
+	c.covAvgG.Set(rep.AvgCoverage)
+}

@@ -2,12 +2,16 @@ package control
 
 import (
 	"encoding/json"
+	"io"
+	"math"
+	"net"
 	"sync"
 	"testing"
 	"time"
 
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/obs"
 	"nwdeploy/internal/topology"
 	"nwdeploy/internal/traffic"
 )
@@ -240,5 +244,219 @@ func TestAgentWatchDeliversEpochUpdates(t *testing.T) {
 	close(stop)
 	// Channel closes after stop.
 	for range updates {
+	}
+}
+
+// waitCounter polls an obs counter until it reaches at least want or the
+// deadline passes — serve() runs on the controller's accept goroutines,
+// so counter advances are asynchronous with the client's view.
+func waitCounter(t *testing.T, c *obs.Counter, want int64) int64 {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if v := c.Value(); v >= want || time.Now().After(deadline) {
+			return v
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestControllerErrorPathCounters drives every controller error path and
+// asserts the badReqC/manifestErrC observability advances for each:
+// unknown op, manifest before any plan, out-of-range node, a connection
+// closed mid-request, and an oversized request line.
+func TestControllerErrorPathCounters(t *testing.T) {
+	metrics := obs.New()
+	ctrl, err := NewControllerOpts("127.0.0.1:0", ControllerOptions{HashKey: 1, Metrics: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	badReqC := metrics.Counter("control.requests_bad")
+	manifestErrC := metrics.Counter("control.manifest_errors")
+
+	// Manifest request before any plan is installed.
+	a := NewAgent(ctrl.Addr(), 0)
+	if _, err := a.Sync(); err == nil {
+		t.Fatal("expected error fetching manifest before any plan")
+	}
+	if got := waitCounter(t, manifestErrC, 1); got != 1 {
+		t.Fatalf("manifest_errors = %d after no-plan fetch, want 1", got)
+	}
+
+	plan, _ := solvedPlan(t, 11)
+	ctrl.UpdatePlan(plan)
+
+	// Unknown op.
+	if _, err := a.roundTrip(request{Op: "bogus"}); err == nil {
+		t.Fatal("expected error for unknown op")
+	}
+	if got := waitCounter(t, badReqC, 1); got != 1 {
+		t.Fatalf("requests_bad = %d after unknown op, want 1", got)
+	}
+
+	// Manifest request for an out-of-range node.
+	if _, err := NewAgent(ctrl.Addr(), 10_000).Sync(); err == nil {
+		t.Fatal("expected error for out-of-range node")
+	}
+	if got := waitCounter(t, manifestErrC, 2); got != 2 {
+		t.Fatalf("manifest_errors = %d after out-of-range node, want 2", got)
+	}
+
+	// Connection closed mid-request: partial line, no newline.
+	conn, err := net.Dial("tcp", ctrl.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte(`{"op":"ep`)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if got := waitCounter(t, badReqC, 2); got != 2 {
+		t.Fatalf("requests_bad = %d after mid-request close, want 2", got)
+	}
+
+	// The controller must still serve after all of the above.
+	if _, err := NewAgent(ctrl.Addr(), 0).Sync(); err != nil {
+		t.Fatalf("controller wedged after error-path traffic: %v", err)
+	}
+}
+
+// TestControllerBoundsRequestLine streams a line longer than the request
+// cap and expects a malformed-request rejection instead of unbounded
+// buffering.
+func TestControllerBoundsRequestLine(t *testing.T) {
+	metrics := obs.New()
+	ctrl, err := NewControllerOpts("127.0.0.1:0", ControllerOptions{HashKey: 1, Metrics: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	conn, err := net.Dial("tcp", ctrl.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	// One byte past the cap, no newline: the controller must stop
+	// reading and reject rather than buffer on.
+	junk := make([]byte, maxRequestLine+1)
+	for i := range junk {
+		junk[i] = 'a'
+	}
+	if _, err := conn.Write(junk); err != nil {
+		t.Fatalf("writing oversized line: %v", err)
+	}
+	var resp response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatalf("decoding rejection: %v", err)
+	}
+	if resp.Err != "malformed request" {
+		t.Fatalf("resp.Err = %q, want %q", resp.Err, "malformed request")
+	}
+	if got := waitCounter(t, metrics.Counter("control.requests_bad"), 1); got != 1 {
+		t.Fatalf("requests_bad = %d after oversized line, want 1", got)
+	}
+}
+
+// TestAgentOptions: configured timeouts must be honored (a black-holed
+// exchange fails in ~RPCTimeout, not the 10s default) and the agent-side
+// counters must advance.
+func TestAgentOptions(t *testing.T) {
+	plan, _ := solvedPlan(t, 12)
+	ctrl, err := NewController("127.0.0.1:0", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	ctrl.UpdatePlan(plan)
+
+	metrics := obs.New()
+	blackhole := func(network, addr string, timeout time.Duration) (net.Conn, error) {
+		client, server := net.Pipe()
+		go func() {
+			_, _ = io.Copy(io.Discard, server)
+			_ = server.Close()
+		}()
+		return client, nil
+	}
+	a := NewAgentOpts(ctrl.Addr(), 0, AgentOptions{
+		DialTimeout: 100 * time.Millisecond,
+		RPCTimeout:  50 * time.Millisecond,
+		Dial:        blackhole,
+		Metrics:     metrics,
+	})
+	start := time.Now()
+	if _, err := a.RemoteEpoch(); err == nil {
+		t.Fatal("expected timeout through black-holed dialer")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("RPCTimeout not honored: exchange took %v", elapsed)
+	}
+	if got := metrics.Counter("control.agent_requests").Value(); got != 1 {
+		t.Fatalf("agent_requests = %d, want 1", got)
+	}
+	if got := metrics.Counter("control.agent_errors").Value(); got != 1 {
+		t.Fatalf("agent_errors = %d, want 1", got)
+	}
+	if got := metrics.Counter("control.agent_timeouts").Value(); got != 1 {
+		t.Fatalf("agent_timeouts = %d, want 1", got)
+	}
+
+	// The same agent with a real dialer works and leaves timeouts alone.
+	real := NewAgentOpts(ctrl.Addr(), 0, AgentOptions{Metrics: metrics})
+	if _, err := real.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.Counter("control.agent_timeouts").Value(); got != 1 {
+		t.Fatalf("agent_timeouts advanced on a healthy exchange: %d", got)
+	}
+}
+
+// TestControllerServesProvidedListener: the Listener option must be used
+// as-is — the seam chaos.Gate interposes at.
+func TestControllerServesProvidedListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewControllerOpts("ignored:0", ControllerOptions{HashKey: 3, Listener: ln})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	if ctrl.Addr() != ln.Addr().String() {
+		t.Fatalf("controller addr %s != provided listener addr %s", ctrl.Addr(), ln.Addr())
+	}
+	if e, err := NewAgent(ctrl.Addr(), 0).RemoteEpoch(); err != nil || e != 0 {
+		t.Fatalf("epoch through provided listener: %d, %v", e, err)
+	}
+}
+
+// TestDeciderCoverageHelpers: CoversUnit must agree with the manifest's
+// wire ranges, and AssignedWidth with their total width.
+func TestDeciderCoverageHelpers(t *testing.T) {
+	plan, _ := solvedPlan(t, 13)
+	m, err := ManifestFromPlan(plan, 2, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecider(m)
+	var want float64
+	for _, a := range m.Assignments {
+		for _, r := range a.Ranges {
+			want += r.Hi - r.Lo
+			mid := (r.Lo + r.Hi) / 2
+			if !d.CoversUnit(a.Class, a.Unit, mid) {
+				t.Fatalf("CoversUnit(%d, %v, %v) = false inside an assigned range", a.Class, a.Unit, mid)
+			}
+		}
+	}
+	if got := d.AssignedWidth(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("AssignedWidth = %v, want %v", got, want)
+	}
+	if d.CoversUnit(-1, [2]int{0, 0}, 0.5) {
+		t.Fatal("CoversUnit accepted an unknown assignment")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -42,7 +43,17 @@ type ControllerOptions struct {
 	// current-epoch gauge. The registry must be supplied at construction
 	// (it is read by the accept loop); nil is the no-op default.
 	Metrics *obs.Registry
+	// Listener, when non-nil, is served instead of opening a new TCP
+	// listener (the addr argument is ignored). The controller takes
+	// ownership and closes it on Close. This is the seam fault-injecting
+	// wrappers such as chaos.Gate interpose at.
+	Listener net.Listener
 }
+
+// maxRequestLine bounds the one-line request read. Real requests are tens
+// of bytes; without a cap, a peer streaming bytes that never include a
+// newline would grow the controller's read buffer without bound.
+const maxRequestLine = 64 << 10
 
 // Controller serves the current deployment's manifests to node agents.
 // Safe for concurrent use; UpdatePlan may be called while agents fetch.
@@ -73,9 +84,13 @@ func NewController(addr string, hashKey uint32) (*Controller, error) {
 // NewControllerOpts starts a controller listening on addr (e.g.
 // "127.0.0.1:0").
 func NewControllerOpts(addr string, opts ControllerOptions) (*Controller, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("control: listen: %w", err)
+	ln := opts.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("control: listen: %w", err)
+		}
 	}
 	c := &Controller{
 		hashKey: opts.HashKey, ln: ln, closed: make(chan struct{}),
@@ -146,13 +161,25 @@ func (c *Controller) serve(conn net.Conn) {
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
 
+	// Cap the request-line read: LimitReader makes an overlong line
+	// surface as an EOF one byte past the cap instead of an unbounded
+	// buffer. A peer that closes mid-line (partial bytes, no newline)
+	// lands in the same error path with a short line.
 	var req request
-	r := bufio.NewReader(conn)
+	r := bufio.NewReader(io.LimitReader(conn, maxRequestLine+1))
 	line, err := r.ReadBytes('\n')
+	enc := json.NewEncoder(conn)
 	if err != nil {
+		if len(line) > maxRequestLine {
+			c.badReqC.Add(1)
+			_ = enc.Encode(response{Err: "malformed request"})
+		} else if len(line) > 0 {
+			// Connection closed mid-request; the peer is gone, so no
+			// response — but the abandoned bytes still count as bad.
+			c.badReqC.Add(1)
+		}
 		return
 	}
-	enc := json.NewEncoder(conn)
 	if err := json.Unmarshal(line, &req); err != nil {
 		c.badReqC.Add(1)
 		_ = enc.Encode(response{Err: "malformed request"})
@@ -187,29 +214,86 @@ func (c *Controller) serve(conn net.Conn) {
 	}
 }
 
+// DialFunc matches net.DialTimeout's shape: the transport seam fault
+// injectors (internal/chaos) interpose at.
+type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
+
+// AgentOptions configures an Agent beyond its controller address and
+// node identity. The zero value reproduces NewAgent's behavior.
+type AgentOptions struct {
+	// DialTimeout bounds connection establishment (0 selects 5s).
+	DialTimeout time.Duration
+	// RPCTimeout bounds the whole request/response exchange once
+	// connected (0 selects 10s).
+	RPCTimeout time.Duration
+	// Dial replaces the transport dial (nil selects net.DialTimeout).
+	Dial DialFunc
+	// Metrics, when non-nil, receives client observability: request,
+	// error, and timeout counters. Nil is the no-op default.
+	Metrics *obs.Registry
+}
+
 // Agent is a node's client to the controller. It caches the last fetched
 // manifest and exposes a Decider for the data path.
 type Agent struct {
 	addr string
 	node int
+	opts AgentOptions
 
 	mu      sync.RWMutex
 	decider *Decider
+
+	reqC, errC, timeoutC *obs.Counter
 }
 
-// NewAgent creates an agent for node; it holds no connection until used.
+// NewAgent creates an agent for node with default timeouts; it holds no
+// connection until used. See NewAgentOpts for the full configuration
+// surface.
 func NewAgent(addr string, node int) *Agent {
-	return &Agent{addr: addr, node: node}
+	return NewAgentOpts(addr, node, AgentOptions{})
+}
+
+// NewAgentOpts creates an agent for node with explicit timeouts, dialer,
+// and metrics.
+func NewAgentOpts(addr string, node int, opts AgentOptions) *Agent {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.RPCTimeout <= 0 {
+		opts.RPCTimeout = 10 * time.Second
+	}
+	if opts.Dial == nil {
+		opts.Dial = net.DialTimeout
+	}
+	return &Agent{
+		addr: addr, node: node, opts: opts,
+		reqC:     opts.Metrics.Counter("control.agent_requests"),
+		errC:     opts.Metrics.Counter("control.agent_errors"),
+		timeoutC: opts.Metrics.Counter("control.agent_timeouts"),
+	}
 }
 
 // roundTrip sends one request and decodes one response.
 func (a *Agent) roundTrip(req request) (*response, error) {
-	conn, err := net.DialTimeout("tcp", a.addr, 5*time.Second)
+	a.reqC.Add(1)
+	resp, err := a.exchange(req)
+	if err != nil {
+		a.errC.Add(1)
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			a.timeoutC.Add(1)
+		}
+	}
+	return resp, err
+}
+
+func (a *Agent) exchange(req request) (*response, error) {
+	conn, err := a.opts.Dial("tcp", a.addr, a.opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("control: dial %s: %w", a.addr, err)
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	_ = conn.SetDeadline(time.Now().Add(a.opts.RPCTimeout))
 
 	enc := json.NewEncoder(conn)
 	if err := enc.Encode(req); err != nil {

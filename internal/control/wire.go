@@ -114,6 +114,28 @@ func NewDecider(m *Manifest) *Decider {
 // Epoch reports the manifest generation this decider enforces.
 func (d *Decider) Epoch() uint64 { return d.manifest.Epoch }
 
+// CoversUnit reports whether this manifest assigns hash point x of the
+// (class, unit-key) coordination component to the node — the audit-side
+// complement of ShouldAnalyze, used by the cluster runtime to measure a
+// deployment's achieved coverage without synthesizing sessions.
+func (d *Decider) CoversUnit(class int, key [2]int, x float64) bool {
+	return d.ranges[assignKey{class, key}].Contains(x)
+}
+
+// AssignedWidth returns the total hash-space width the manifest assigns
+// to the node, summed across its (class, unit) assignments — the node's
+// share of the network-wide analysis work, and the quantity the cluster
+// runtime exports as a per-agent coverage gauge.
+func (d *Decider) AssignedWidth() float64 {
+	var w float64
+	for _, rs := range d.ranges {
+		for _, r := range rs {
+			w += r.Width()
+		}
+	}
+	return w
+}
+
 // ShouldAnalyze resolves whether this node analyzes the session for the
 // class. Unit resolution follows the class scope exactly as the planner's
 // Instance.UnitFor does, but using only the session's addressing (the

@@ -212,6 +212,40 @@ func AggregationCost(inst *Instance, p *Plan, agg AggregationConfig) float64 {
 	return cost
 }
 
+// ProbeCoverage measures hash-space coverage for nUnits coordination units
+// by probing each unit's [0,1) space at `probes` midpoints (0 or negative
+// selects the default 10000) and asking the covers predicate whether any
+// live analyzer handles point x of unit ui. It returns the worst per-unit
+// covered fraction and the average across units. Both the static
+// CoverageUnderFailure audit and the cluster runtime's achieved-coverage
+// measurement are this probe with different predicates, which is what makes
+// their results directly comparable: same points, same accumulation order.
+func ProbeCoverage(nUnits, probes int, covers func(unit int, x float64) bool) (worst, avg float64) {
+	if nUnits == 0 {
+		return 1, 1
+	}
+	if probes <= 0 {
+		probes = 10000
+	}
+	worst = 1
+	for ui := 0; ui < nUnits; ui++ {
+		coveredPts := 0
+		for t := 0; t < probes; t++ {
+			x := (float64(t) + 0.5) / float64(probes)
+			if covers(ui, x) {
+				coveredPts++
+			}
+		}
+		frac := float64(coveredPts) / float64(probes)
+		if frac < worst {
+			worst = frac
+		}
+		avg += frac
+	}
+	avg /= float64(nUnits)
+	return worst, avg
+}
+
 // CoverageUnderFailure evaluates a plan's residual analysis coverage when
 // the given nodes have failed — the scenario the Section 2.5 redundancy
 // extension provisions for ("robust to NIDS failures ... hardware or OS
@@ -225,34 +259,18 @@ func CoverageUnderFailure(p *Plan, failed []int) (worst, avg float64) {
 		down[j] = true
 	}
 	inst := p.Inst
-	worst = 1
-	if len(inst.Units) == 0 {
-		return 1, 1
-	}
 	// Probe the hash space finely; ranges are few per unit, so interval
 	// arithmetic would also work, but probing keeps the dependency on the
 	// exact RangeSet shape minimal and is plenty accurate at 1e4 points.
-	const probes = 10000
-	for ui := range inst.Units {
-		coveredPts := 0
-		for t := 0; t < probes; t++ {
-			x := (float64(t) + 0.5) / probes
-			for _, node := range inst.Units[ui].Nodes {
-				if down[node] {
-					continue
-				}
-				if p.Manifests[node].Ranges[ui].Contains(x) {
-					coveredPts++
-					break
-				}
+	return ProbeCoverage(len(inst.Units), 0, func(ui int, x float64) bool {
+		for _, node := range inst.Units[ui].Nodes {
+			if down[node] {
+				continue
+			}
+			if p.Manifests[node].Ranges[ui].Contains(x) {
+				return true
 			}
 		}
-		frac := float64(coveredPts) / probes
-		if frac < worst {
-			worst = frac
-		}
-		avg += frac
-	}
-	avg /= float64(len(inst.Units))
-	return worst, avg
+		return false
+	})
 }

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"time"
+
+	"nwdeploy/internal/bro"
+	"nwdeploy/internal/chaos"
+	"nwdeploy/internal/cluster"
+	"nwdeploy/internal/control"
+)
+
+// ChaosRow is one epoch of the runtime-resilience experiment: the injected
+// faults, the control plane's convergence, and achieved vs predicted
+// coverage. One block per scenario (redundancy level).
+type ChaosRow struct {
+	Scenario       string
+	Redundancy     int
+	Epoch          int
+	ControllerDown bool
+	DownNodes      int
+	Synced         int
+	Stale          int
+	Dark           int
+	FetchAttempts  int
+	FetchFailures  int
+	Alerts         int
+	WorstCoverage  float64
+	AvgCoverage    float64
+	PredictedWorst float64
+}
+
+// Chaos runs the cluster runtime under seeded fault injection in two
+// provisioning regimes: the base r=1 deployment of the standard modules
+// (every failure costs coverage), and an r=2 deployment of the
+// path-scoped modules with failures capped at r-1 (the Section 2.5
+// guarantee regime, where coverage must hold at 100%). Rows are
+// deterministic for any Workers value: the chaos runtime derives every
+// decision from the scenario seed.
+func Chaos(cfg Config) ([]ChaosRow, error) {
+	epochs := 10
+	sessions := cfg.sessions(8000)
+	if cfg.Quick {
+		epochs = 5
+	}
+	base := cluster.ChaosConfig{
+		Sessions: sessions, Epochs: epochs, Seed: 71,
+		Faults:  chaos.NetworkFaults{DropProb: 0.2, BlackholeProb: 0.05},
+		Retry:   cluster.RetryPolicy{MaxAttempts: 6, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond, JitterFrac: 0.3},
+		Agent:   control.AgentOptions{DialTimeout: 200 * time.Millisecond, RPCTimeout: 200 * time.Millisecond},
+		Workers: cfg.Workers,
+		Metrics: cfg.Metrics,
+	}
+
+	scenarios := []struct {
+		name string
+		mut  func(*cluster.ChaosConfig)
+	}{
+		{"base_r1", func(c *cluster.ChaosConfig) {
+			c.Redundancy = 1
+		}},
+		{"redundant_r2", func(c *cluster.ChaosConfig) {
+			// r=2 needs every unit to admit two copies: only the
+			// path-scoped modules qualify (ingress/egress units have a
+			// single eligible node). Failures stay within r-1 so the
+			// coverage guarantee is on trial.
+			c.Redundancy = 2
+			c.MaxDown = 1
+			c.NodeFailProb = 0.3
+			c.Modules = pathScopedModules()
+		}},
+	}
+
+	var rows []ChaosRow
+	for _, sc := range scenarios {
+		run := base
+		sc.mut(&run)
+		rep, err := cluster.CoverageUnderChaos(run)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range rep.Epochs {
+			rows = append(rows, ChaosRow{
+				Scenario:       sc.name,
+				Redundancy:     rep.Redundancy,
+				Epoch:          e.Epoch,
+				ControllerDown: e.ControllerDown,
+				DownNodes:      len(e.DownNodes),
+				Synced:         e.SyncedAgents,
+				Stale:          e.StaleAgents,
+				Dark:           e.DarkAgents,
+				FetchAttempts:  e.FetchAttempts,
+				FetchFailures:  e.FetchFailures,
+				Alerts:         e.Alerts,
+				WorstCoverage:  e.WorstCoverage,
+				AvgCoverage:    e.AvgCoverage,
+				PredictedWorst: e.PredictedWorst,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// pathScopedModules selects the standard modules whose classes are
+// PerPath-scoped, the set for which redundancy r >= 2 is feasible.
+func pathScopedModules() []bro.ModuleSpec {
+	var out []bro.ModuleSpec
+	for _, m := range bro.StandardModules() {
+		switch m.Name {
+		case "signature", "http":
+			out = append(out, m)
+		}
+	}
+	return out
+}
