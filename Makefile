@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench vet test build
+.PHONY: check race bench fuzz vet test build
 
 # Tier-1 verification: everything must build, vet cleanly, and the full
 # test suite pass.
@@ -24,16 +24,28 @@ vet:
 # scheduling each run is the point.
 race: vet
 	$(GO) test -race ./...
-	$(GO) test -race -count=1 ./internal/chaos/ ./internal/cluster/
+	$(GO) test -race -count=1 ./internal/chaos/ ./internal/cluster/ ./internal/governor/
+
+# Fuzz tier: a short smoke run of the solver fuzzer (simplex vs brute-force
+# vertex enumeration on random small LPs). CI-friendly; run with a longer
+# -fuzztime locally to dig.
+fuzz:
+	$(GO) test -run=FuzzSolve -fuzz=FuzzSolve -fuzztime=10s ./internal/lp/
 
 # Bench tier: every figure/table benchmark plus the obs micro-benchmarks,
 # with allocation reporting. Also replays the quick experiment suite with a
 # live registry and leaves its metrics snapshot in BENCH_obs.json — solver
 # pivot counts, rounding trials, emulation wall time — as a machine-readable
-# profile of the run.
+# profile of the run. The governor benchmarks cover the overload story:
+# warm- vs cold-started replan solves, the shed hook's per-packet cost, and
+# BENCH_governor.json with the overload grid's replan/shed counters
+# (overload.replan_iters_warm vs _cold, governor.sheds/restores).
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) test -bench=. -benchmem ./internal/obs/
 	$(GO) test -bench=ClusterConverge -benchmem ./internal/cluster/
+	$(GO) test -bench=WarmVsColdReplan -benchmem ./internal/lp/
+	$(GO) test -bench=ShedFilter -benchmem ./internal/bro/
 	$(GO) run ./cmd/experiments -quick -metrics BENCH_obs.json >/dev/null
+	$(GO) run ./cmd/experiments -quick -only overload -metrics BENCH_governor.json >/dev/null
 	$(GO) run ./cmd/cluster -sessions 2000 -epochs 6 -metrics BENCH_cluster.json >/dev/null

@@ -13,12 +13,23 @@
 //	        [-nodefailprob 0.15] [-outageprob 0.1] [-maxdown 0]
 //	        [-stalegrace 2] [-reoptevery 3] [-workers 0] [-probes 2000]
 //	        [-metrics run.json]
+//	cluster -overload [-burstfactor 4] [-burstprob 0.15] [-governor]
+//	        [-replan] [-warmreplan] [-replanthreshold 0.2] [-replanmaxiters 0]
+//	        [common flags as above]
 //
 // The whole run is a pure function of its flags: same flags, same output,
 // byte for byte, despite the real sockets underneath (see internal/chaos
 // for the determinism contract). With -redundancy 2 the path-scoped module
 // subset is deployed (ingress/egress-scoped units admit only one copy) and
 // -maxdown defaults to r-1, putting the coverage guarantee on trial.
+//
+// With -overload the fault injector is replaced by a bursty traffic series:
+// per-node load governors (-governor) shed hash ranges deterministically when
+// an epoch's projected load overruns the plan's budget — lowest drop-value
+// classes first, never below the r=1 coverage floor — and an EWMA drift
+// detector (-replan) triggers re-solves, warm-started from the previous
+// basis with -warmreplan, bounded by -replanmaxiters simplex iterations
+// (a miss falls back to the governors' shed state).
 package main
 
 import (
@@ -53,6 +64,14 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); output is identical for every value")
 	probes := flag.Int("probes", 2000, "coverage probe points per coordination unit")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+	overload := flag.Bool("overload", false, "run the overload scenario (bursty traffic + governor/replanning) instead of fault injection")
+	burstFactor := flag.Float64("burstfactor", 4, "overload: volume multiplier on a bursting pair")
+	burstProb := flag.Float64("burstprob", 0.15, "overload: per-(epoch, pair) burst probability")
+	governorOn := flag.Bool("governor", false, "overload: enable the per-node load governor (shed over budget)")
+	replan := flag.Bool("replan", false, "overload: enable drift-triggered replanning")
+	warmReplan := flag.Bool("warmreplan", false, "overload: warm-start replans from the previous basis")
+	replanThreshold := flag.Float64("replanthreshold", 0.2, "overload: EWMA relative-error drift threshold")
+	replanMaxIters := flag.Int("replanmaxiters", 0, "overload: simplex-iteration deadline per replan (0 = none; a miss falls back to shed state)")
 	flag.Parse()
 
 	var topo *topology.Topology
@@ -71,6 +90,42 @@ func main() {
 		topo = topology.FiftyNode()
 	default:
 		log.Fatalf("unknown topology %q", *topoName)
+	}
+
+	if *overload {
+		metrics := obs.New()
+		ocfg := cluster.OverloadConfig{
+			Topo: topo, Sessions: *sessions, Epochs: *epochs,
+			Redundancy: *redundancy, Seed: *seed,
+			BurstFactor: *burstFactor, BurstProb: *burstProb,
+			Governor: *governorOn,
+			Replan:   *replan, WarmReplan: *warmReplan,
+			ReplanThreshold: *replanThreshold, ReplanMaxIters: *replanMaxIters,
+			Workers: *workers, Probes: *probes, Metrics: metrics,
+		}
+		rep, err := cluster.RunOverload(ocfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# %s: %d nodes, %d sessions, redundancy %d, seed %d, governor %v, replan %v (warm %v), objective %.4f\n",
+			rep.Topology, rep.Nodes, rep.Sessions, rep.Redundancy, rep.Seed,
+			rep.Governor, rep.Replan, rep.WarmReplan, rep.Objective)
+		fmt.Println("epoch\tmax_rel_err\tdrifted\treplanned\twarm\treplan_iters\tmissed\tover_budget\tfloor_limited\tshed_width\tworst_cov\tavg_cov\tshed_floor_worst\tsynced")
+		for _, e := range rep.Epochs {
+			fmt.Printf("%d\t%.4f\t%v\t%v\t%v\t%d\t%v\t%d\t%d\t%.4f\t%.4f\t%.4f\t%.4f\t%d\n",
+				e.Epoch, e.MaxRelErr, e.Drifted, e.Replanned, e.ReplanWarm,
+				e.ReplanIters, e.ReplanMissed, e.OverBudget, e.Unsatisfied, e.ShedWidth,
+				e.WorstCoverage, e.AvgCoverage, e.ShedFloorWorst, e.SyncedAgents)
+		}
+		fmt.Printf("# summary: worst coverage %.4f, avg %.4f, max over-budget nodes %d, replans %d (missed %d, %d iters)\n",
+			rep.WorstCoverage, rep.AvgCoverage, rep.MaxOverBudget,
+			rep.Replans, rep.MissedReplans, rep.TotalReplanIters)
+		if *metricsPath != "" {
+			if err := metrics.WriteFile(*metricsPath); err != nil {
+				log.Fatalf("writing metrics: %v", err)
+			}
+		}
+		return
 	}
 
 	cfg := cluster.ChaosConfig{

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-workers n] [-only fig5,fig6,fig7,fig8,fig10,fig11,opttime,redundancy,ablations,adversaries,chaos]
+//	experiments [-quick] [-workers n] [-only fig5,fig6,fig7,fig8,fig10,fig11,opttime,redundancy,ablations,adversaries,chaos,overload]
 //	            [-metrics run.json] [-pprof 127.0.0.1:6060]
 //
 // With -quick the reduced workload sizes are used (seconds per experiment);
@@ -78,6 +78,7 @@ func main() {
 		{"adversaries", adversaries},
 		{"provisioning", provisioning},
 		{"chaos", chaosResilience},
+		{"overload", overloadResilience},
 	}
 	var selected []runner
 	for _, r := range all {
@@ -286,6 +287,23 @@ func chaosResilience(cfg experiments.Config) (string, error) {
 			r.Scenario, r.Redundancy, r.Epoch, r.ControllerDown, r.DownNodes,
 			r.Synced, r.Stale, r.Dark, r.FetchAttempts, r.FetchFailures, r.Alerts,
 			r.WorstCoverage, r.AvgCoverage, r.PredictedWorst)
+	}
+	return b.String(), nil
+}
+
+func overloadResilience(cfg experiments.Config) (string, error) {
+	rows, err := experiments.Overload(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	header(&b, "Overload resilience", "burst amplitude x governor x replan mode: budget overruns, shed width, coverage, and replan cost")
+	fmt.Fprintln(&b, "scenario\tburst\tgovernor\treplan\twarm\tover_budget\tfloor_limited\tshed_width_max\tworst_cov\tavg_cov\treplans\tmissed\treplan_iters")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s\t%.1f\t%v\t%v\t%v\t%d\t%d\t%.4f\t%.4f\t%.4f\t%d\t%d\t%d\n",
+			r.Scenario, r.BurstFactor, r.Governor, r.Replan, r.WarmReplan,
+			r.OverBudget, r.FloorLimited, r.ShedWidthMax,
+			r.WorstCoverage, r.AvgCoverage, r.Replans, r.MissedReplans, r.ReplanIters)
 	}
 	return b.String(), nil
 }

@@ -20,6 +20,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +31,7 @@ import (
 	"nwdeploy/internal/bro"
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/lp"
 	"nwdeploy/internal/nips"
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/obs/obshttp"
@@ -308,6 +310,9 @@ func runNIPS(topo *topology.Topology, spec Spec, variantName string, iters int, 
 		Metrics: metrics,
 	})
 	if err != nil {
+		if errors.Is(err, lp.ErrInfeasible) {
+			log.Fatalf("scenario has no feasible deployment — raise capacities or rule-capacity fraction: %v", err)
+		}
 		log.Fatal(err)
 	}
 	if err := dep.Verify(inst); err != nil {

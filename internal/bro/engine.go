@@ -49,6 +49,16 @@ type ManifestDecider interface {
 	ShouldAnalyze(class int, s traffic.Session) bool
 }
 
+// ShedFilter vetoes analysis for sessions the node's load governor has
+// dropped responsibility for this epoch. internal/governor.Governor
+// implements it. The filter must be a pure function of the session for
+// the duration of a Run — the engine precomputes manifest decisions once
+// per (session, module) pair and shares them across worker lanes, so a
+// filter that mutated mid-run would desynchronize the shards.
+type ShedFilter interface {
+	Sheds(class int, s traffic.Session) bool
+}
+
 // Mode selects the engine variant being benchmarked.
 type Mode int
 
@@ -93,6 +103,12 @@ type Config struct {
 	// manifest alone (see internal/control.Decider), with no access to
 	// the planner's objects. Class indices must align with Modules.
 	Decider ManifestDecider
+	// Shed, when non-nil, is consulted after the manifest decision: a
+	// session the filter sheds is not analyzed even though the manifest
+	// selects it — the node gave up that range under overload. It stacks
+	// on either decision path (Plan or Decider) and on standalone
+	// instances.
+	Shed ShedFilter
 	// Hasher supplies the (optionally keyed) packet-selection hash.
 	Hasher hashing.Hasher
 	// FineGrained enables the Section 2.5 extension: modules marked
@@ -324,8 +340,12 @@ func precomputePasses(cfg Config, sessions []traffic.Session, workers int) []boo
 	return pass
 }
 
-// analyzes resolves the Figure 3 manifest decision for one module.
+// analyzes resolves the Figure 3 manifest decision for one module, after
+// the governor's shed veto.
 func (e *engine) analyzes(mi int, s traffic.Session) bool {
+	if e.cfg.Shed != nil && e.cfg.Shed.Sheds(mi, s) {
+		return false
+	}
 	if e.cfg.Decider != nil {
 		return e.cfg.Decider.ShouldAnalyze(mi, s)
 	}
@@ -336,10 +356,10 @@ func (e *engine) analyzes(mi int, s traffic.Session) bool {
 }
 
 // hasManifest reports whether the instance enforces a real (partial)
-// manifest — via the planner's Plan or a wire Decider — as opposed to the
-// standalone all-traffic default.
+// manifest — via the planner's Plan, a wire Decider, or a governor shed
+// filter — as opposed to the standalone all-traffic default.
 func (e *engine) hasManifest() bool {
-	return e.cfg.Plan != nil || e.cfg.Decider != nil
+	return e.cfg.Plan != nil || e.cfg.Decider != nil || e.cfg.Shed != nil
 }
 
 // checkStage returns where module mi's coordination check executes under

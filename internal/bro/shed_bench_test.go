@@ -1,0 +1,40 @@
+package bro
+
+import (
+	"testing"
+
+	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/topology"
+	"nwdeploy/internal/traffic"
+)
+
+// neverShed is a live filter that sheds nothing — the steady-state cost of
+// wiring a governor into the per-packet decider path.
+type neverShed struct{}
+
+func (neverShed) Sheds(int, traffic.Session) bool { return false }
+
+func benchTrace(b *testing.B, n int) []traffic.Session {
+	b.Helper()
+	topo := topology.Internet2()
+	return traffic.Generate(topo, traffic.Gravity(topo), traffic.GenConfig{Sessions: n, Seed: 17})
+}
+
+// BenchmarkShedFilter measures the data-plane cost of the governor hook:
+// the baseline engine, the same engine with a filter that never sheds
+// (pure per-decision overhead), and one actively shedding half of one
+// class's hash space (overhead minus the analysis it skips).
+func BenchmarkShedFilter(b *testing.B) {
+	trace := benchTrace(b, 3000)
+	h := hashing.Hasher{Key: 3}
+	mods := StandardModules()
+	run := func(b *testing.B, shed ShedFilter) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Run(Config{Mode: ModeCoordEvent, Modules: mods, Hasher: h, Shed: shed}, trace)
+		}
+	}
+	b.Run("none", func(b *testing.B) { run(b, nil) })
+	b.Run("idle", func(b *testing.B) { run(b, neverShed{}) })
+	b.Run("active", func(b *testing.B) { run(b, rangeShed{class: 7, lo: 0, hi: 0.5, h: h}) })
+}

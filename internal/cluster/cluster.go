@@ -65,6 +65,10 @@ type Options struct {
 	// Probes is the per-unit probe count for coverage audits (0 selects
 	// 2000; use 10000 to match core.CoverageUnderFailure exactly).
 	Probes int
+	// CaptureBasis asks the initial placement solve to export its simplex
+	// basis (core.Plan.Basis), so later replans can warm-start from it —
+	// required by the overload runtime's drift-triggered replanning.
+	CaptureBasis bool
 	// Metrics, when non-nil, receives runtime observability (fetch
 	// attempt/retry/failure/timeout counters, staleness and coverage
 	// gauges, per-agent assigned width) in addition to the controller,
@@ -148,7 +152,9 @@ func New(opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := core.SolveOpts(inst, core.SolveOptions{Redundancy: opts.Redundancy, Metrics: opts.Metrics})
+	plan, err := core.SolveOpts(inst, core.SolveOptions{
+		Redundancy: opts.Redundancy, Metrics: opts.Metrics, CaptureBasis: opts.CaptureBasis,
+	})
 	if err != nil {
 		return nil, err
 	}

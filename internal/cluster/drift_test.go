@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDriftDetectorWarmupAndThreshold(t *testing.T) {
+	d := NewDriftDetector([]float64{100, 200}, 1, 0.2)
+	if d.Drifted() {
+		t.Fatal("detector drifted before any observation")
+	}
+	if e := d.Observe([]float64{110, 200}); e > 0.1+1e-12 {
+		t.Fatalf("10%% shift reported rel err %v", e)
+	}
+	if d.Drifted() {
+		t.Fatal("drifted below threshold")
+	}
+	if e := d.Observe([]float64{150, 200}); math.Abs(e-0.5) > 1e-12 {
+		t.Fatalf("50%% shift with alpha=1 reported rel err %v", e)
+	}
+	if !d.Drifted() {
+		t.Fatal("50% shift past a 20% threshold did not drift")
+	}
+}
+
+// A low alpha absorbs a one-epoch blip that raw comparison would flag —
+// the debounce that keeps blips the governor's job, not the solver's.
+func TestDriftDetectorSmoothsBlips(t *testing.T) {
+	d := NewDriftDetector([]float64{100}, 0.2, 0.2)
+	d.Observe([]float64{100})
+	if e := d.Observe([]float64{150}); e > 0.2 {
+		t.Fatalf("single 50%% blip drifted through alpha=0.2 EWMA (err %v)", e)
+	}
+	// Sustained shift eventually crosses.
+	for i := 0; i < 10; i++ {
+		d.Observe([]float64{150})
+	}
+	if !d.Drifted() {
+		t.Fatalf("sustained 50%% shift never drifted (err %v)", d.MaxRelErr())
+	}
+}
+
+func TestDriftDetectorRebase(t *testing.T) {
+	d := NewDriftDetector([]float64{100}, 1, 0.2)
+	d.Observe([]float64{160})
+	if !d.Drifted() {
+		t.Fatal("60% shift did not drift")
+	}
+	d.Rebase(d.Smoothed())
+	if d.Drifted() {
+		t.Fatalf("rebased detector still drifted (err %v)", d.MaxRelErr())
+	}
+	if got := d.Smoothed(); got[0] != 160 {
+		t.Fatalf("Smoothed lost state across Rebase: %v", got)
+	}
+}
+
+// Near-zero reference volumes use absolute error, so an empty unit
+// gaining a trickle of traffic does not divide-by-zero into a replan.
+func TestDriftDetectorEmptyUnitGuard(t *testing.T) {
+	d := NewDriftDetector([]float64{0, 100}, 1, 0.2)
+	if e := d.Observe([]float64{0.1, 100}); e > 0.1+1e-12 {
+		t.Fatalf("trickle on an empty unit reported rel err %v", e)
+	}
+	if d.Drifted() {
+		t.Fatal("trickle on empty unit triggered a replan")
+	}
+}

@@ -63,6 +63,7 @@ type Controller struct {
 	mu    sync.RWMutex
 	plan  *core.Plan
 	epoch uint64
+	shed  map[int][]WireAssignment // per-node governor shed state
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -70,8 +71,8 @@ type Controller struct {
 
 	// Metric handles resolved at construction; nil-safe no-ops when no
 	// registry was configured.
-	epochReqC, manifestReqC, badReqC, manifestErrC, planUpdateC *obs.Counter
-	epochG                                                      *obs.Gauge
+	epochReqC, manifestReqC, badReqC, manifestErrC, planUpdateC, shedUpdateC *obs.Counter
+	epochG                                                                   *obs.Gauge
 }
 
 // NewController starts a controller listening on addr (e.g.
@@ -100,6 +101,7 @@ func NewControllerOpts(addr string, opts ControllerOptions) (*Controller, error)
 		badReqC:      opts.Metrics.Counter("control.requests_bad"),
 		manifestErrC: opts.Metrics.Counter("control.manifest_errors"),
 		planUpdateC:  opts.Metrics.Counter("control.plan_updates"),
+		shedUpdateC:  opts.Metrics.Counter("control.shed_updates"),
 		epochG:       opts.Metrics.Gauge("control.epoch"),
 	}
 	c.wg.Add(1)
@@ -118,13 +120,40 @@ func (c *Controller) Epoch() uint64 {
 }
 
 // UpdatePlan installs a new deployment plan and bumps the epoch; agents
-// polling the epoch will observe the change and re-fetch.
+// polling the epoch will observe the change and re-fetch. Any published
+// shed state is cleared: a fresh plan supersedes the emergency degradation
+// it was covering for.
 func (c *Controller) UpdatePlan(plan *core.Plan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.plan = plan
+	c.shed = nil
 	c.epoch++
 	c.planUpdateC.Add(1)
+	c.epochG.Set(float64(c.epoch))
+}
+
+// PublishShed records a node's governor shed state and bumps the epoch so
+// agents re-fetch manifests carrying it. An empty shed clears the node's
+// entry (the governor restored full responsibility). This is the fallback
+// path when a replan misses its deadline: the network learns exactly which
+// ranges the overloaded node dropped without waiting for a new plan.
+func (c *Controller) PublishShed(node int, shed []WireAssignment) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(shed) == 0 {
+		if _, had := c.shed[node]; !had {
+			return // nothing published, nothing to clear: no epoch churn
+		}
+		delete(c.shed, node)
+	} else {
+		if c.shed == nil {
+			c.shed = make(map[int][]WireAssignment)
+		}
+		c.shed[node] = shed
+	}
+	c.epoch++
+	c.shedUpdateC.Add(1)
 	c.epochG.Set(float64(c.epoch))
 }
 
@@ -188,6 +217,7 @@ func (c *Controller) serve(conn net.Conn) {
 
 	c.mu.RLock()
 	plan, epoch := c.plan, c.epoch
+	shed := c.shed[req.Node]
 	c.mu.RUnlock()
 
 	switch req.Op {
@@ -207,6 +237,7 @@ func (c *Controller) serve(conn net.Conn) {
 			_ = enc.Encode(response{Epoch: epoch, Err: err.Error()})
 			return
 		}
+		m.Shed = shed
 		_ = enc.Encode(response{Epoch: epoch, Manifest: m})
 	default:
 		c.badReqC.Add(1)

@@ -11,6 +11,7 @@ package control
 
 import (
 	"fmt"
+	"sort"
 
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/hashing"
@@ -48,6 +49,40 @@ type Manifest struct {
 	HashKey     uint32           `json:"hash_key"`
 	Classes     []WireClass      `json:"classes"`
 	Assignments []WireAssignment `json:"assignments"`
+	// Shed lists ranges within Assignments that the node's load governor
+	// has given up under overload: the decider subtracts them from the
+	// assignment before answering ShouldAnalyze, so peers and audits see
+	// exactly the responsibility that was dropped. Empty in steady state
+	// (and omitted from the wire form, keeping the base encoding stable).
+	Shed []WireAssignment `json:"shed,omitempty"`
+}
+
+// ShedFromRanges converts a governor's unit-indexed shed state into wire
+// assignments keyed the way manifests are (class, unit key). Unit order is
+// ascending index, so the wire form is deterministic for a given shed.
+func ShedFromRanges(plan *core.Plan, shed map[int]hashing.RangeSet) []WireAssignment {
+	if len(shed) == 0 {
+		return nil
+	}
+	units := make([]int, 0, len(shed))
+	for ui := range shed {
+		units = append(units, ui)
+	}
+	sort.Ints(units)
+	out := make([]WireAssignment, 0, len(units))
+	for _, ui := range units {
+		u := plan.Inst.Units[ui]
+		wa := WireAssignment{Class: u.Class, Unit: u.Key}
+		for _, r := range shed[ui] {
+			if r.Width() > 0 {
+				wa.Ranges = append(wa.Ranges, WireRange{Lo: r.Lo, Hi: r.Hi})
+			}
+		}
+		if len(wa.Ranges) > 0 {
+			out = append(out, wa)
+		}
+	}
+	return out
 }
 
 // ManifestFromPlan extracts node j's manifest from a solved plan, stamped
@@ -87,6 +122,7 @@ type Decider struct {
 	manifest *Manifest
 	hasher   hashing.Hasher
 	ranges   map[assignKey]hashing.RangeSet
+	shed     map[assignKey]hashing.RangeSet
 }
 
 type assignKey struct {
@@ -94,21 +130,48 @@ type assignKey struct {
 	unit  [2]int
 }
 
-// NewDecider indexes a manifest for per-packet use.
+// NewDecider indexes a manifest for per-packet use. Shed ranges are
+// subtracted at index time: the effective assignment a decider enforces is
+// Assignments minus Shed, exactly the responsibility the governor kept.
 func NewDecider(m *Manifest) *Decider {
 	d := &Decider{
 		manifest: m,
 		hasher:   hashing.Hasher{Key: m.HashKey},
 		ranges:   make(map[assignKey]hashing.RangeSet, len(m.Assignments)),
+		shed:     make(map[assignKey]hashing.RangeSet, len(m.Shed)),
+	}
+	for _, a := range m.Shed {
+		var rs hashing.RangeSet
+		for _, r := range a.Ranges {
+			rs = append(rs, hashing.Range{Lo: r.Lo, Hi: r.Hi})
+		}
+		d.shed[assignKey{a.Class, a.Unit}] = rs
 	}
 	for _, a := range m.Assignments {
 		var rs hashing.RangeSet
 		for _, r := range a.Ranges {
 			rs = append(rs, hashing.Range{Lo: r.Lo, Hi: r.Hi})
 		}
-		d.ranges[assignKey{a.Class, a.Unit}] = rs
+		key := assignKey{a.Class, a.Unit}
+		if cut, ok := d.shed[key]; ok {
+			rs = rs.Subtract(cut)
+		}
+		d.ranges[key] = rs
 	}
 	return d
+}
+
+// ShedWidth returns the total hash-space width the manifest's shed section
+// removed from this node's assignment — the audit-side measure of how much
+// responsibility the governor gave up.
+func (d *Decider) ShedWidth() float64 {
+	var w float64
+	for _, rs := range d.shed {
+		for _, r := range rs {
+			w += r.Width()
+		}
+	}
+	return w
 }
 
 // Epoch reports the manifest generation this decider enforces.

@@ -301,6 +301,12 @@ type Plan struct {
 	// SolverIters counts simplex iterations, for the optimization-time
 	// reproduction.
 	SolverIters int
+	// Basis is the LP's optimal basis, captured when the plan was solved
+	// with SolveOptions.CaptureBasis (or warm-started). Feeding it to a
+	// later solve's SolveOptions.WarmBasis re-solves a same-shaped
+	// instance with perturbed volumes from this optimum — the cluster's
+	// drift-triggered replan path.
+	Basis *lp.Basis
 	// Stats is the LP solver's work report (per-phase pivots, Bland
 	// activations, presolve eliminations). Like SolverIters it is
 	// deterministic: it never includes wall-clock quantities, so plans
@@ -323,6 +329,21 @@ type SolveOptions struct {
 	// write-only, so the returned Plan is identical with or without it
 	// (nil is the no-op default; see internal/obs).
 	Metrics *obs.Registry
+	// CaptureBasis exports the LP's optimal basis on the returned Plan.
+	// It disables presolve (a presolved solution's columns do not map to
+	// the full column space), trading some solve speed for replan speed.
+	CaptureBasis bool
+	// WarmBasis, when non-nil, warm-starts the LP from a previous plan's
+	// Basis. Valid only across instances of identical shape — same units
+	// in the same order with the same eligible-node sets — i.e. volume
+	// perturbations of one instance (see WithVolumes and Scaled). An
+	// unusable basis falls back to a cold start. Implies CaptureBasis.
+	WarmBasis *lp.Basis
+	// MaxIters bounds the LP's simplex iterations; zero selects the
+	// solver's size-proportional default. The cluster replan loop uses
+	// this as a deterministic deadline: a solve that exceeds it fails
+	// with lp.ErrIterLimit instead of blocking the epoch protocol.
+	MaxIters int
 }
 
 // SolveOpts formulates and solves the placement LP selected by opts: the
@@ -338,9 +359,11 @@ func SolveOpts(inst *Instance, opts SolveOptions) (*Plan, error) {
 	var plan *Plan
 	var err error
 	if opts.Aggregation != nil {
+		// The aggregation formulation has extra rows, so a base-shape
+		// basis would not fit; warm options apply to the base LP only.
 		plan, err = solveWithAggregation(inst, r, *opts.Aggregation, opts.Metrics)
 	} else {
-		plan, err = solveNIDS(inst, r, opts.Metrics)
+		plan, err = solveNIDS(inst, r, opts)
 	}
 	if err != nil {
 		return nil, err
@@ -356,12 +379,12 @@ func SolveOpts(inst *Instance, opts SolveOptions) (*Plan, error) {
 // r >= 1 (r = 1 is the base formulation; r > 1 is the redundancy extension,
 // which covers the hash space [0, r] while keeping every d_ikj <= 1).
 func Solve(inst *Instance, r int) (*Plan, error) {
-	return solveNIDS(inst, r, nil)
+	return solveNIDS(inst, r, SolveOptions{})
 }
 
-// solveNIDS is Solve with an optional metrics registry threaded into the
-// LP solve (nil is the no-op registry).
-func solveNIDS(inst *Instance, r int, metrics *obs.Registry) (*Plan, error) {
+// solveNIDS is Solve with the solver-facing options (metrics, basis
+// capture/warm start, iteration cap) threaded into the LP solve.
+func solveNIDS(inst *Instance, r int, opts SolveOptions) (*Plan, error) {
 	if r < 1 {
 		return nil, fmt.Errorf("core: redundancy level %d < 1", r)
 	}
@@ -411,16 +434,25 @@ func solveNIDS(inst *Instance, r int, metrics *obs.Registry) (*Plan, error) {
 	}
 
 	// Presolve pays off here: every ingress/egress-pinned unit is a
-	// singleton coverage equality the reductions eliminate outright.
-	sol, err := p.SolveOpts(lp.Options{Presolve: true, Metrics: metrics})
+	// singleton coverage equality the reductions eliminate outright. It is
+	// incompatible with basis capture, though — a presolved solution's
+	// columns live in the reduced model — so warm-start workflows trade it
+	// away.
+	capture := opts.CaptureBasis || opts.WarmBasis != nil
+	sol, err := p.SolveOpts(lp.Options{
+		Presolve:  !capture,
+		WarmBasis: opts.WarmBasis,
+		MaxIters:  opts.MaxIters,
+		Metrics:   opts.Metrics,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: solving NIDS LP: %w", err)
 	}
 	if sol.Status != lp.StatusOptimal {
-		return nil, fmt.Errorf("core: NIDS LP %v (is redundancy %d feasible?)", sol.Status, r)
+		return nil, fmt.Errorf("core: NIDS LP (is redundancy %d feasible?): %w", r, sol.Status.Err())
 	}
 
-	plan := &Plan{Inst: inst, Redundancy: r, Objective: sol.Objective, SolverIters: sol.Iters, Stats: sol.Stats}
+	plan := &Plan{Inst: inst, Redundancy: r, Objective: sol.Objective, SolverIters: sol.Iters, Stats: sol.Stats, Basis: sol.Basis}
 	plan.Assignments = make([]Assignment, len(inst.Units))
 	for ui := range inst.Units {
 		frac := make([]float64, len(dVars[ui]))
@@ -458,43 +490,8 @@ func (p *Plan) buildManifests() {
 	for j := 0; j < n; j++ {
 		p.Manifests[j] = NodeManifest{Node: j, Ranges: make(map[int]hashing.RangeSet)}
 	}
-	r := float64(p.Redundancy)
-	for ui, a := range p.Assignments {
-		u := p.Inst.Units[ui]
-		total := 0.0
-		for _, f := range a.Frac {
-			total += f
-		}
-		if total <= 0 {
-			continue
-		}
-		scale := r / total
-		// Identify the last node with a non-negligible share: it absorbs
-		// the rounding remainder so boundaries tile [0, r] exactly.
-		const negligible = 1e-9
-		last := -1
-		for vi := range u.Nodes {
-			if a.Frac[vi]*scale > negligible {
-				last = vi
-			}
-		}
-		pos := 0.0
-		for vi, node := range u.Nodes {
-			w := a.Frac[vi] * scale
-			if vi == last {
-				w = r - pos // absorb rounding in the final slice
-			}
-			// A node's share can exceed 1 only by floating-point crumbs
-			// (d <= 1 in the LP); clamp so the cursor stays on exact copy
-			// boundaries and no hairline gap opens at the wraparound.
-			if w > 1 {
-				w = 1
-			}
-			if w <= negligible {
-				continue
-			}
-			lo, hi := pos, pos+w
-			pos = hi
+	for ui := range p.Assignments {
+		p.walkUnit(ui, func(node int, lo, hi float64) {
 			var rs hashing.RangeSet
 			loM, hiM := math.Mod(lo, 1), math.Mod(hi, 1)
 			switch {
@@ -511,7 +508,54 @@ func (p *Plan) buildManifests() {
 			}
 			existing := p.Manifests[node].Ranges[ui]
 			p.Manifests[node].Ranges[ui] = append(existing, rs...)
+		})
+	}
+}
+
+// walkUnit replays the Figure 2 cumulative cursor for one unit, emitting
+// each node's contiguous piece [lo, hi) in the cursor's [0, r] coordinates
+// (before the wraparound fold). buildManifests and Slices both consume
+// this walk, which is what guarantees that copy-indexed slices and the
+// published manifests describe the same geometry boundary-for-boundary.
+func (p *Plan) walkUnit(ui int, emit func(node int, lo, hi float64)) {
+	a := p.Assignments[ui]
+	u := p.Inst.Units[ui]
+	r := float64(p.Redundancy)
+	total := 0.0
+	for _, f := range a.Frac {
+		total += f
+	}
+	if total <= 0 {
+		return
+	}
+	scale := r / total
+	// Identify the last node with a non-negligible share: it absorbs
+	// the rounding remainder so boundaries tile [0, r] exactly.
+	const negligible = 1e-9
+	last := -1
+	for vi := range u.Nodes {
+		if a.Frac[vi]*scale > negligible {
+			last = vi
 		}
+	}
+	pos := 0.0
+	for vi, node := range u.Nodes {
+		w := a.Frac[vi] * scale
+		if vi == last {
+			w = r - pos // absorb rounding in the final slice
+		}
+		// A node's share can exceed 1 only by floating-point crumbs
+		// (d <= 1 in the LP); clamp so the cursor stays on exact copy
+		// boundaries and no hairline gap opens at the wraparound.
+		if w > 1 {
+			w = 1
+		}
+		if w <= negligible {
+			continue
+		}
+		lo, hi := pos, pos+w
+		pos = hi
+		emit(node, lo, hi)
 	}
 }
 

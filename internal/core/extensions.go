@@ -173,9 +173,9 @@ func solveWithAggregation(inst *Instance, r int, agg AggregationConfig, metrics 
 	switch sol.Status {
 	case lp.StatusOptimal:
 	case lp.StatusInfeasible:
-		return nil, fmt.Errorf("core: aggregation budget %v is infeasible for this workload", agg.Budget)
+		return nil, fmt.Errorf("core: aggregation budget %v for this workload: %w", agg.Budget, lp.ErrInfeasible)
 	default:
-		return nil, fmt.Errorf("core: aggregation LP %v", sol.Status)
+		return nil, fmt.Errorf("core: aggregation LP: %w", sol.Status.Err())
 	}
 
 	plan := &Plan{Inst: inst, Redundancy: r, Objective: sol.Objective, SolverIters: sol.Iters, Stats: sol.Stats}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nwdeploy/internal/hashing"
+)
+
+// ManifestSlice is one contiguous piece of a node's manifest for one
+// coordination unit, annotated with the redundancy copy it belongs to.
+//
+// Under the Section 2.5 extension the cumulative cursor tiles [0, r]; each
+// integer band [c, c+1) of that walk is the c-th complete copy of the
+// unit's hash space. A slice is a node's piece restricted to one band and
+// folded back into [0, 1) — so it never wraps, and its Range is exactly a
+// sub-interval of the corresponding published manifest range.
+//
+// The copy index is what makes load shedding safe: every point of every
+// unit is covered once by copy 0, so a governor that only ever sheds
+// slices with Copy >= 1 can locally guarantee the network keeps the base
+// r = 1 coverage, no matter which nodes shed.
+type ManifestSlice struct {
+	Node  int
+	Unit  int
+	Copy  int
+	Range hashing.Range
+}
+
+// Slices decomposes every node's manifest into copy-annotated slices,
+// indexed by node. Within a node the order is deterministic: unit index
+// ascending, then copy ascending (the cursor walk visits bands in order).
+// The union of a node's slices for a unit equals its published manifest
+// ranges for that unit, boundary for boundary.
+func (p *Plan) Slices() [][]ManifestSlice {
+	n := p.Inst.Topo.N()
+	out := make([][]ManifestSlice, n)
+	const negligible = 1e-9
+	for ui := range p.Assignments {
+		p.walkUnit(ui, func(node int, lo, hi float64) {
+			// Split [lo, hi) at integer copy boundaries. Each band piece
+			// folds to [slo-c, shi-c) in [0, 1); the subtraction is exact
+			// for the small copy counts in play, so the folded boundaries
+			// coincide bitwise with buildManifests' math.Mod fold.
+			for c := math.Floor(lo); c < hi; c++ {
+				slo, shi := math.Max(lo, c), math.Min(hi, c+1)
+				if shi-slo <= negligible {
+					continue
+				}
+				out[node] = append(out[node], ManifestSlice{
+					Node:  node,
+					Unit:  ui,
+					Copy:  int(c),
+					Range: hashing.Range{Lo: slo - c, Hi: shi - c},
+				})
+			}
+		})
+	}
+	return out
+}
+
+// WithVolumes returns a copy of the instance with per-unit packet and item
+// volumes replaced wholesale (indexed like Units). Topology, classes,
+// capacities, and unit identity are shared, so the result has the same LP
+// shape as the original: a plan solved on it can warm-start from the
+// original plan's Basis, and its manifests keep the same unit indices.
+// This is the replan entry point — the drift detector feeds it the
+// EWMA-smoothed observed volumes.
+func (inst *Instance) WithVolumes(pkts, items []float64) (*Instance, error) {
+	if len(pkts) != len(inst.Units) || len(items) != len(inst.Units) {
+		return nil, fmt.Errorf("core: WithVolumes got %d/%d volumes for %d units",
+			len(pkts), len(items), len(inst.Units))
+	}
+	out := &Instance{
+		Topo:    inst.Topo,
+		Classes: inst.Classes,
+		Caps:    inst.Caps,
+		Units:   make([]CoordUnit, len(inst.Units)),
+		unitIdx: inst.unitIdx,
+	}
+	for ui, u := range inst.Units {
+		u.Pkts = pkts[ui]
+		u.Items = items[ui]
+		out.Units[ui] = u
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"nwdeploy/internal/lp"
+	"nwdeploy/internal/topology"
+	"nwdeploy/internal/traffic"
+)
+
+// pathInstance builds an instance with only path-scoped classes, whose
+// units have multi-node eligible sets — the domain where redundancy r > 1
+// is feasible.
+func pathInstance(t *testing.T, sessions int) *Instance {
+	t.Helper()
+	topo := topology.Internet2()
+	tm := traffic.Gravity(topo)
+	ss := traffic.Generate(topo, tm, traffic.GenConfig{Sessions: sessions, Seed: 11})
+	var classes []Class
+	for _, c := range testClasses() {
+		if c.Scope == PerPath {
+			classes = append(classes, c)
+		}
+	}
+	inst, err := BuildInstance(topo, classes, ss, UniformCaps(topo.N(), 1e7, 1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// slicesPlan solves a redundancy-2 plan over the path-scoped test instance.
+func slicesPlan(t *testing.T, opts SolveOptions) *Plan {
+	t.Helper()
+	inst := pathInstance(t, 3000)
+	if opts.Redundancy == 0 {
+		opts.Redundancy = 2
+	}
+	plan, err := SolveOpts(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestSlicesMatchManifestsExactly(t *testing.T) {
+	plan := slicesPlan(t, SolveOptions{})
+	slices := plan.Slices()
+	if len(slices) != plan.Inst.Topo.N() {
+		t.Fatalf("slices for %d nodes, want %d", len(slices), plan.Inst.Topo.N())
+	}
+	for node, ns := range slices {
+		// Per (node, unit): slice widths must sum to the manifest width,
+		// and containment must agree at probe points.
+		perUnit := map[int]float64{}
+		for _, s := range ns {
+			if s.Node != node {
+				t.Fatalf("slice %+v filed under node %d", s, node)
+			}
+			if s.Range.Lo < 0 || s.Range.Hi > 1 || s.Range.IsEmpty() {
+				t.Fatalf("slice range %v escapes [0,1)", s.Range)
+			}
+			if s.Copy < 0 || s.Copy >= plan.Redundancy {
+				t.Fatalf("slice copy %d outside [0,%d)", s.Copy, plan.Redundancy)
+			}
+			perUnit[s.Unit] += s.Range.Width()
+		}
+		for ui, rs := range plan.Manifests[node].Ranges {
+			if w := rs.Width(); math.Abs(w-perUnit[ui]) > 1e-9 {
+				t.Fatalf("node %d unit %d: manifest width %v, slices %v", node, ui, w, perUnit[ui])
+			}
+		}
+		for _, s := range ns {
+			mid := (s.Range.Lo + s.Range.Hi) / 2
+			if !plan.Manifests[node].Ranges[s.Unit].Contains(mid) {
+				t.Fatalf("node %d unit %d: slice midpoint %v not in manifest", node, s.Unit, mid)
+			}
+		}
+	}
+}
+
+func TestSlicesCopyZeroTilesEveryUnit(t *testing.T) {
+	plan := slicesPlan(t, SolveOptions{})
+	// Per unit and copy, widths across all nodes must sum to 1: each copy
+	// is a complete tiling of the unit's hash space.
+	width := map[[2]int]float64{}
+	for _, ns := range plan.Slices() {
+		for _, s := range ns {
+			width[[2]int{s.Unit, s.Copy}] += s.Range.Width()
+		}
+	}
+	for ui := range plan.Inst.Units {
+		for c := 0; c < plan.Redundancy; c++ {
+			if w := width[[2]int{ui, c}]; math.Abs(w-1) > 1e-9 {
+				t.Fatalf("unit %d copy %d tiles width %v, want 1", ui, c, w)
+			}
+		}
+	}
+}
+
+func TestSlicesRedundancyOneHasOnlyCopyZero(t *testing.T) {
+	plan := slicesPlan(t, SolveOptions{Redundancy: 1})
+	for _, ns := range plan.Slices() {
+		for _, s := range ns {
+			if s.Copy != 0 {
+				t.Fatalf("r=1 plan produced copy-%d slice %+v", s.Copy, s)
+			}
+		}
+	}
+}
+
+func TestWithVolumesSharesShape(t *testing.T) {
+	inst, _ := testInstance(t, 2000)
+	pkts := make([]float64, len(inst.Units))
+	items := make([]float64, len(inst.Units))
+	for ui, u := range inst.Units {
+		pkts[ui] = u.Pkts * 1.5
+		items[ui] = u.Items * 1.5
+	}
+	scaled, err := inst.WithVolumes(pkts, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scaled.Units) != len(inst.Units) {
+		t.Fatalf("unit count changed: %d -> %d", len(inst.Units), len(scaled.Units))
+	}
+	for ui, u := range scaled.Units {
+		if u.Pkts != inst.Units[ui].Pkts*1.5 {
+			t.Fatalf("unit %d pkts %v, want %v", ui, u.Pkts, inst.Units[ui].Pkts*1.5)
+		}
+		if u.Class != inst.Units[ui].Class || u.Key != inst.Units[ui].Key {
+			t.Fatalf("unit %d identity changed", ui)
+		}
+	}
+	// Shared unitIdx: lookups must resolve identically.
+	if inst.Units[0].Pkts == scaled.Units[0].Pkts {
+		t.Fatal("original instance mutated")
+	}
+
+	if _, err := inst.WithVolumes(pkts[:1], items); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSolveWarmStartFromPreviousPlan(t *testing.T) {
+	inst := pathInstance(t, 3000)
+	first, err := SolveOpts(inst, SolveOptions{Redundancy: 2, CaptureBasis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Basis == nil {
+		t.Fatal("CaptureBasis produced no basis")
+	}
+
+	pkts := make([]float64, len(inst.Units))
+	items := make([]float64, len(inst.Units))
+	for ui, u := range inst.Units {
+		f := 1 + 0.1*math.Sin(float64(ui))
+		pkts[ui] = u.Pkts * f
+		items[ui] = u.Items * f
+	}
+	drifted, err := inst.WithVolumes(pkts, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := SolveOpts(drifted, SolveOptions{Redundancy: 2, CaptureBasis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := SolveOpts(drifted, SolveOptions{Redundancy: 2, WarmBasis: first.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warm.Objective-cold.Objective) > 1e-6*(1+cold.Objective) {
+		t.Fatalf("warm objective %v != cold %v", warm.Objective, cold.Objective)
+	}
+	if warm.SolverIters >= cold.SolverIters {
+		t.Fatalf("warm replan took %d iters, cold %d — no speedup", warm.SolverIters, cold.SolverIters)
+	}
+	if warm.Basis == nil {
+		t.Fatal("warm solve did not re-export a basis for the next replan")
+	}
+}
+
+func TestSolveMaxItersReturnsIterLimit(t *testing.T) {
+	inst := pathInstance(t, 3000)
+	_, err := SolveOpts(inst, SolveOptions{Redundancy: 2, CaptureBasis: true, MaxIters: 1})
+	if !errors.Is(err, lp.ErrIterLimit) {
+		t.Fatalf("MaxIters=1 returned %v, want ErrIterLimit", err)
+	}
+}
+
+func TestInfeasibleRedundancyWrapsSentinel(t *testing.T) {
+	inst, _ := testInstance(t, 1000)
+	// Ingress units have exactly one eligible node, so r=2 trips the
+	// eligibility precheck; strip to path classes and blow past path
+	// lengths instead to reach the LP itself... simplest: tiny caps make
+	// the cover rows unsatisfiable only if caps bound d, which they do not
+	// (capacity rows bound lambda, not feasibility). The LP is always
+	// feasible for valid r, so exercise the precheck error path here and
+	// leave LP-level infeasibility to the aggregation budget test.
+	_, err := SolveOpts(inst, SolveOptions{Redundancy: 2})
+	if err == nil {
+		t.Fatal("redundancy 2 with ingress-pinned units must fail")
+	}
+	// Aggregation with an impossible budget wraps ErrInfeasible.
+	_, err = SolveOpts(inst, SolveOptions{
+		Aggregation: &AggregationConfig{Collector: 0, BytesPerItem: 1, Budget: 1e-12},
+	})
+	if err != nil && !errors.Is(err, lp.ErrInfeasible) {
+		t.Fatalf("tiny aggregation budget returned %v, want ErrInfeasible in the chain", err)
+	}
+}

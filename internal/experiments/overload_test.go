@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The overload grid must be deterministic across worker counts like every
+// other experiment runner.
+func TestOverloadWorkersDeterminism(t *testing.T) {
+	serial, err := Overload(Config{Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanned, err := Overload(Config{Quick: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, fanned) {
+		t.Fatalf("Overload rows depend on worker count:\nserial: %+v\nfanned: %+v", serial, fanned)
+	}
+}
+
+// The grid's headline claims: the governor shrinks the over-budget count
+// at the same burst amplitude, never sheds below the coverage floor, and
+// warm-started replans land in fewer iterations than cold ones.
+func TestOverloadGridClaims(t *testing.T) {
+	rows, err := Overload(Config{Quick: true, Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]OverloadRow{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+	}
+	ungov, gov := byName["moderate_ungoverned"], byName["moderate_governed"]
+	if ungov.OverBudget == 0 {
+		t.Fatal("ungoverned moderate bursts never exceeded budget — grid is vacuous")
+	}
+	if gov.OverBudget >= ungov.OverBudget {
+		t.Fatalf("governor did not reduce over-budget node-epochs: %d vs %d",
+			gov.OverBudget, ungov.OverBudget)
+	}
+	if gov.OverBudget > gov.FloorLimited {
+		t.Fatalf("governed over-budget %d > floor-limited %d: sheddable width left on an over node",
+			gov.OverBudget, gov.FloorLimited)
+	}
+	if gov.ShedWidthMax == 0 {
+		t.Fatal("governed run never shed")
+	}
+	if gov.WorstCoverage != 1 {
+		t.Fatalf("governed shedding dropped coverage to %v — copy-0 shed", gov.WorstCoverage)
+	}
+
+	cold, warm := byName["heavy_cold_replan"], byName["heavy_warm_replan"]
+	if cold.Replans == 0 || warm.Replans == 0 {
+		t.Fatalf("heavy drift triggered no replans (cold %d, warm %d)", cold.Replans, warm.Replans)
+	}
+	if warm.ReplanIters >= cold.ReplanIters {
+		t.Fatalf("warm replans took %d iters, cold %d", warm.ReplanIters, cold.ReplanIters)
+	}
+}

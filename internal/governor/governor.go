@@ -1,0 +1,420 @@
+// Package governor implements per-node load governing for the data plane:
+// graceful, deterministic load shedding when a node's offered load exceeds
+// the budget the placement LP predicted for it.
+//
+// The paper's deployment (Section 2.2) plans against traffic reports, so a
+// node's achieved load tracks its predicted load only while traffic stays
+// near the planned volumes. Bursts between replans would otherwise either
+// overrun the node (dropping packets indiscriminately) or force an
+// emergency re-solve. The governor instead sheds *responsibility*: it
+// shrinks the node's hash ranges by whole or partial manifest slices, in
+// increasing order of drop value, and never touches copy 0 of any unit —
+// so the network-wide coverage floor of one complete analyst per
+// coordination unit (the r = 1 guarantee of Section 2.5) survives any
+// combination of nodes shedding, by local reasoning alone.
+//
+// Everything the governor does is a pure function of the plan and the
+// offered per-unit volume scales: no clocks, no randomness. Two governors
+// built from the same plan and fed the same scales shed identical ranges,
+// which is what makes cluster runs reproducible under any worker count.
+package governor
+
+import (
+	"fmt"
+	"sort"
+
+	"nwdeploy/internal/core"
+	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/obs"
+	"nwdeploy/internal/traffic"
+)
+
+// Config tunes one node's governor. The zero value selects the defaults.
+type Config struct {
+	// Tolerance is the allowed overrun fraction: the governor sheds only
+	// when projected load exceeds budget*(1+Tolerance). Zero selects 0.1.
+	Tolerance float64
+	// Sustain is how many consecutive over-budget epochs must accumulate
+	// before shedding engages (a debounce against one-epoch blips). Zero
+	// selects 1: shed in the same epoch the overrun is projected.
+	Sustain int
+	// FloorCopies is the number of redundancy copies that are never shed,
+	// counted from copy 0. Zero selects 1 — copy 0 is untouchable, which
+	// preserves the network-wide r = 1 coverage floor. Values above 1
+	// protect deeper redundancy at the price of less shedding headroom.
+	FloorCopies int
+	// ClassValue ranks classes by the value of their analysis, indexed
+	// like the instance's Classes; lower values shed first. Nil values all
+	// classes equally, falling back to class-index order.
+	ClassValue []float64
+	// Metrics, when non-nil, receives shed observability (write-only; the
+	// governed behavior is identical with or without it).
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tolerance == 0 {
+		c.Tolerance = 0.1
+	}
+	if c.Sustain == 0 {
+		c.Sustain = 1
+	}
+	if c.FloorCopies == 0 {
+		c.FloorCopies = 1
+	}
+	return c
+}
+
+// ShedRange is one shed piece: the governor gave up Range of Unit's hash
+// space within redundancy copy Copy.
+type ShedRange struct {
+	Unit  int
+	Copy  int
+	Range hashing.Range
+}
+
+// Report describes one epoch's governing decision for a node. All fields
+// are logical quantities derived from the plan and the offered scales.
+type Report struct {
+	Node int
+	// ProjectedCPU/Mem are the full-manifest load fractions at the offered
+	// volumes; BudgetCPU/Mem are the same at plan volumes (the LP's
+	// prediction for this node).
+	ProjectedCPU, ProjectedMem float64
+	BudgetCPU, BudgetMem       float64
+	// CPUAfter/MemAfter are the projected loads after shedding.
+	CPUAfter, MemAfter float64
+	// ShedWidth is the total hash-space width given up across all units.
+	ShedWidth float64
+	// Shed lists the exact ranges given up, in shed order.
+	Shed []ShedRange
+	// Satisfied reports whether the post-shed load fits budget*(1+tol).
+	// False means the node exhausted its sheddable slices (everything
+	// above the coverage floor) and still projects over budget.
+	Satisfied bool
+}
+
+// Over reports whether the epoch projected over the tolerated budget
+// before any shedding.
+func (r Report) Over() bool {
+	return r.ProjectedCPU > r.BudgetCPU || r.ProjectedMem > r.BudgetMem
+}
+
+// slice is one manifest slice with its precomputed unit-scale-1 load
+// contributions.
+type slice struct {
+	core.ManifestSlice
+	cpu, mem float64 // contribution at scale 1 (full slice width)
+}
+
+// Governor governs one node's load against its planned budget.
+type Governor struct {
+	cfg    Config
+	plan   *core.Plan
+	hasher hashing.Hasher
+	node   int
+
+	slices []slice
+	order  []int // indices into slices: sheddable, in shed order
+
+	budgetCPU, budgetMem float64
+
+	over int // consecutive over-budget epochs
+
+	shed      map[int]hashing.RangeSet // unit -> ranges this node dropped
+	shedWidth float64
+}
+
+// New builds the governor for one node of a solved plan. The hasher must
+// match the one the node's data path uses, so the shed predicate and the
+// packet path agree on every session's hash point.
+func New(plan *core.Plan, node int, h hashing.Hasher, cfg Config) (*Governor, error) {
+	if node < 0 || node >= plan.Inst.Topo.N() {
+		return nil, fmt.Errorf("governor: node %d out of range [0,%d)", node, plan.Inst.Topo.N())
+	}
+	cfg = cfg.withDefaults()
+	if cv := cfg.ClassValue; cv != nil && len(cv) != len(plan.Inst.Classes) {
+		return nil, fmt.Errorf("governor: %d class values for %d classes", len(cv), len(plan.Inst.Classes))
+	}
+	g := &Governor{cfg: cfg, plan: plan, hasher: h, node: node}
+
+	inst := plan.Inst
+	for _, ms := range plan.Slices()[node] {
+		u := inst.Units[ms.Unit]
+		c := inst.Classes[u.Class]
+		w := ms.Range.Width()
+		g.slices = append(g.slices, slice{
+			ManifestSlice: ms,
+			cpu:           w * c.CPUPerPkt * u.Pkts / inst.Caps[node].CPU,
+			mem:           w * c.MemPerItem * u.Items / inst.Caps[node].Mem,
+		})
+	}
+	for _, s := range g.slices {
+		g.budgetCPU += s.cpu
+		g.budgetMem += s.mem
+	}
+
+	// Shed order: lowest drop value first, then class index, then the
+	// outermost redundancy copy (preserving inner copies longest), then
+	// unit and range position for a total, deterministic order.
+	value := func(class int) float64 {
+		if cfg.ClassValue == nil {
+			return 0
+		}
+		return cfg.ClassValue[class]
+	}
+	for i, s := range g.slices {
+		if s.Copy >= cfg.FloorCopies {
+			g.order = append(g.order, i)
+		}
+	}
+	sort.Slice(g.order, func(a, b int) bool {
+		sa, sb := g.slices[g.order[a]], g.slices[g.order[b]]
+		ca, cb := inst.Units[sa.Unit].Class, inst.Units[sb.Unit].Class
+		if va, vb := value(ca), value(cb); va != vb {
+			return va < vb
+		}
+		if ca != cb {
+			return ca < cb
+		}
+		if sa.Copy != sb.Copy {
+			return sa.Copy > sb.Copy
+		}
+		if sa.Unit != sb.Unit {
+			return sa.Unit < sb.Unit
+		}
+		return sa.Range.Lo < sb.Range.Lo
+	})
+	return g, nil
+}
+
+// Node returns the governed node's ID.
+func (g *Governor) Node() int { return g.node }
+
+// Budget returns the node's planned CPU and memory load fractions — the
+// LP's prediction at plan volumes.
+func (g *Governor) Budget() (cpu, mem float64) { return g.budgetCPU, g.budgetMem }
+
+// PlanEpoch runs the admission decision for one epoch given the offered
+// per-unit volume scales (observed volume / plan volume, indexed like the
+// instance's Units; a nil slice means scale 1 everywhere). It recomputes
+// the shed set from scratch: when the offered load fits the tolerated
+// budget again, previously shed ranges are restored automatically.
+func (g *Governor) PlanEpoch(scale []float64) (Report, error) {
+	inst := g.plan.Inst
+	if scale != nil && len(scale) != len(inst.Units) {
+		return Report{}, fmt.Errorf("governor: %d scales for %d units", len(scale), len(inst.Units))
+	}
+	sc := func(unit int) float64 {
+		if scale == nil {
+			return 1
+		}
+		return scale[unit]
+	}
+
+	rep := Report{Node: g.node, BudgetCPU: g.budgetCPU, BudgetMem: g.budgetMem}
+	for _, s := range g.slices {
+		rep.ProjectedCPU += s.cpu * sc(s.Unit)
+		rep.ProjectedMem += s.mem * sc(s.Unit)
+	}
+	limCPU := g.budgetCPU * (1 + g.cfg.Tolerance)
+	limMem := g.budgetMem * (1 + g.cfg.Tolerance)
+
+	if rep.ProjectedCPU <= limCPU && rep.ProjectedMem <= limMem {
+		// Fits again: restore everything.
+		if g.shedWidth > 0 {
+			g.cfg.Metrics.Add("governor.restores", 1)
+		}
+		g.over = 0
+		g.shed = nil
+		g.shedWidth = 0
+		rep.CPUAfter, rep.MemAfter = rep.ProjectedCPU, rep.ProjectedMem
+		rep.Satisfied = true
+		g.publish(rep)
+		return rep, nil
+	}
+
+	g.over++
+	g.cfg.Metrics.Add("governor.overloads", 1)
+	if g.over < g.cfg.Sustain {
+		// Debounced: tolerate the overrun, keep the previous shed state.
+		rep.CPUAfter, rep.MemAfter = g.applyShed(rep.ProjectedCPU, rep.ProjectedMem, sc)
+		rep.Shed, rep.ShedWidth = g.shedList(), g.shedWidth
+		rep.Satisfied = rep.CPUAfter <= limCPU && rep.MemAfter <= limMem
+		g.publish(rep)
+		return rep, nil
+	}
+
+	// Shed: walk the drop order until the projection fits, splitting the
+	// final slice so exactly the needed width is given up.
+	g.shed = make(map[int]hashing.RangeSet)
+	g.shedWidth = 0
+	cpu, mem := rep.ProjectedCPU, rep.ProjectedMem
+	for _, idx := range g.order {
+		if cpu <= limCPU && mem <= limMem {
+			break
+		}
+		s := g.slices[idx]
+		ccpu := s.cpu * sc(s.Unit)
+		cmem := s.mem * sc(s.Unit)
+		if ccpu <= 0 && cmem <= 0 {
+			continue // weightless slice: shedding it buys nothing
+		}
+		// Fraction of this slice needed to clear the binding resource.
+		f := 0.0
+		if ccpu > 0 {
+			f = (cpu - limCPU) / ccpu
+		}
+		if cmem > 0 {
+			if fm := (mem - limMem) / cmem; fm > f {
+				f = fm
+			}
+		}
+		if f >= 1 {
+			f = 1
+		}
+		w := s.Range.Width() * f
+		cut := hashing.Range{Lo: s.Range.Hi - w, Hi: s.Range.Hi}.Clamp()
+		g.shed[s.Unit] = append(g.shed[s.Unit], cut)
+		g.shedWidth += cut.Width()
+		rep.Shed = append(rep.Shed, ShedRange{Unit: s.Unit, Copy: s.Copy, Range: cut})
+		cpu -= ccpu * f
+		mem -= cmem * f
+	}
+	rep.CPUAfter, rep.MemAfter = cpu, mem
+	rep.ShedWidth = g.shedWidth
+	rep.Satisfied = cpu <= limCPU && mem <= limMem
+	g.cfg.Metrics.Add("governor.sheds", 1)
+	g.publish(rep)
+	return rep, nil
+}
+
+// publish pushes the epoch's gauges to the metrics registry.
+func (g *Governor) publish(rep Report) {
+	m := g.cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.Gauge(fmt.Sprintf("governor.node%d.shed_width", g.node)).Set(rep.ShedWidth)
+	m.Gauge(fmt.Sprintf("governor.node%d.load_after", g.node)).Set(rep.CPUAfter)
+}
+
+// applyShed projects the current shed state onto offered loads.
+func (g *Governor) applyShed(cpu, mem float64, sc func(int) float64) (float64, float64) {
+	if len(g.shed) == 0 {
+		return cpu, mem
+	}
+	for _, s := range g.slices {
+		rs, ok := g.shed[s.Unit]
+		if !ok {
+			continue
+		}
+		// Width of this slice that the shed state covers.
+		kept := hashing.RangeSet{s.Range}.Subtract(rs)
+		cutW := s.Range.Width() - kept.Width()
+		if cutW <= 0 {
+			continue
+		}
+		frac := cutW / s.Range.Width()
+		cpu -= s.cpu * sc(s.Unit) * frac
+		mem -= s.mem * sc(s.Unit) * frac
+	}
+	return cpu, mem
+}
+
+// shedList flattens the shed state in deterministic slice order.
+func (g *Governor) shedList() []ShedRange {
+	var out []ShedRange
+	for _, s := range g.slices {
+		rs, ok := g.shed[s.Unit]
+		if !ok {
+			continue
+		}
+		for _, r := range rs {
+			inter := hashing.Range{Lo: maxf(r.Lo, s.Range.Lo), Hi: minf(r.Hi, s.Range.Hi)}
+			if !inter.IsEmpty() {
+				out = append(out, ShedRange{Unit: s.Unit, Copy: s.Copy, Range: inter})
+			}
+		}
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ShedWidth returns the total hash-space width currently shed.
+func (g *Governor) ShedWidth() float64 { return g.shedWidth }
+
+// ShedRanges returns a copy of the current shed state, keyed by unit — the
+// wire form the controller publishes so peers and audits can subtract the
+// dropped responsibility exactly.
+func (g *Governor) ShedRanges() map[int]hashing.RangeSet {
+	if len(g.shed) == 0 {
+		return nil
+	}
+	out := make(map[int]hashing.RangeSet, len(g.shed))
+	for ui, rs := range g.shed {
+		out[ui] = append(hashing.RangeSet(nil), rs...)
+	}
+	return out
+}
+
+// Covers reports whether hash point x of the unit falls in this node's
+// shed (dropped) ranges — the audit predicate.
+func (g *Governor) Covers(unit int, x float64) bool {
+	return g.shed[unit].Contains(x)
+}
+
+// Sheds is the per-packet filter: it reports whether the node's governor
+// has dropped responsibility for this session under the class. It is a
+// pure function of the epoch's shed state, so the engine may evaluate it
+// once per (module, session) and reuse the answer — the same contract the
+// wire decider obeys. It implements bro.ShedFilter.
+func (g *Governor) Sheds(class int, s traffic.Session) bool {
+	if len(g.shed) == 0 {
+		return false
+	}
+	ui, ok := g.plan.Inst.UnitFor(class, s)
+	if !ok {
+		return false
+	}
+	rs, ok := g.shed[ui]
+	if !ok {
+		return false
+	}
+	return rs.Contains(g.plan.Inst.Classes[class].HashOf(g.hasher, s.Tuple))
+}
+
+// Coverage audits the network-wide residual coverage when every node in
+// govs (indexed by node ID; nil entries mean no governor) drops its shed
+// ranges: a point counts as covered when some live manifest contains it
+// and that node has not shed it. With FloorCopies >= 1 the worst coverage
+// can never fall below full, because copy 0 is never shed — this audit is
+// how tests and the cluster runtime verify that invariant rather than
+// assume it.
+func Coverage(plan *core.Plan, govs []*Governor, probes int) (worst, avg float64) {
+	return core.ProbeCoverage(len(plan.Inst.Units), probes, func(ui int, x float64) bool {
+		for _, node := range plan.Inst.Units[ui].Nodes {
+			if !plan.Manifests[node].Ranges[ui].Contains(x) {
+				continue
+			}
+			if node < len(govs) && govs[node] != nil && govs[node].Covers(ui, x) {
+				continue
+			}
+			return true
+		}
+		return false
+	})
+}

@@ -10,6 +10,7 @@ package hashing
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // FiveTuple identifies a unidirectional flow: a sequence of packets with
@@ -229,4 +230,57 @@ func (rs RangeSet) Width() float64 {
 		w += r.Width()
 	}
 	return w
+}
+
+// Clamp returns the range intersected with [0, 1), the only part of hash
+// space a manifest can ever match. Out-of-range endpoints come from shed
+// arithmetic done in cumulative coordinates; clamping keeps them honest.
+func (r Range) Clamp() Range {
+	if r.Lo < 0 {
+		r.Lo = 0
+	} else if r.Lo > 1 {
+		r.Lo = 1
+	}
+	if r.Hi > 1 {
+		r.Hi = 1
+	} else if r.Hi < 0 {
+		r.Hi = 0
+	}
+	return r
+}
+
+// Subtract returns rs minus the given ranges, as a set of disjoint
+// half-open pieces in the order induced by rs. The load governor uses this
+// to carve shed ranges out of a node's manifest exactly — widths subtract
+// algebraically, with no probing error.
+func (rs RangeSet) Subtract(shed RangeSet) RangeSet {
+	if len(shed) == 0 || len(rs) == 0 {
+		return rs
+	}
+	out := make(RangeSet, 0, len(rs))
+	for _, r := range rs {
+		pieces := RangeSet{r}
+		for _, cut := range shed {
+			if cut.IsEmpty() {
+				continue
+			}
+			var next RangeSet
+			for _, p := range pieces {
+				// Left remainder [p.Lo, cut.Lo) and right remainder
+				// [cut.Hi, p.Hi); empty pieces drop out.
+				if left := (Range{p.Lo, math.Min(p.Hi, cut.Lo)}); !left.IsEmpty() {
+					next = append(next, left)
+				}
+				if right := (Range{math.Max(p.Lo, cut.Hi), p.Hi}); !right.IsEmpty() {
+					next = append(next, right)
+				}
+			}
+			pieces = next
+			if len(pieces) == 0 {
+				break
+			}
+		}
+		out = append(out, pieces...)
+	}
+	return out
 }

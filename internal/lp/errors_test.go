@@ -1,0 +1,87 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestStatusErrSentinels(t *testing.T) {
+	cases := []struct {
+		status Status
+		want   error
+	}{
+		{StatusOptimal, nil},
+		{StatusInfeasible, ErrInfeasible},
+		{StatusUnbounded, ErrUnbounded},
+		{StatusIterLimit, ErrIterLimit},
+	}
+	for _, c := range cases {
+		if got := c.status.Err(); !errors.Is(got, c.want) {
+			t.Errorf("Status(%v).Err() = %v, want %v", c.status, got, c.want)
+		}
+	}
+	if err := Status(99).Err(); err == nil {
+		t.Error("unknown status must map to a non-nil error")
+	}
+}
+
+func TestErrNoVariablesIsMatchable(t *testing.T) {
+	p := New(Minimize)
+	_, err := p.Solve()
+	if !errors.Is(err, ErrNoVariables) {
+		t.Fatalf("empty problem returned %v, want ErrNoVariables", err)
+	}
+}
+
+func TestSentinelsSurviveWrapping(t *testing.T) {
+	// The nips/core callers wrap Status.Err with %w; the chain must stay
+	// matchable through arbitrary annotation layers.
+	p := New(Maximize)
+	x := p.AddVar("x", 1, 0, Inf())
+	_ = x
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+	wrapped := fmt.Errorf("planner: relaxation: %w", sol.Status.Err())
+	wrapped = fmt.Errorf("outer: %w", wrapped)
+	if !errors.Is(wrapped, ErrUnbounded) {
+		t.Fatalf("%v does not match ErrUnbounded", wrapped)
+	}
+	if errors.Is(wrapped, ErrInfeasible) {
+		t.Fatal("wrapped unbounded error matched ErrInfeasible")
+	}
+}
+
+func TestInfeasibleStatusErr(t *testing.T) {
+	p := New(Minimize)
+	x := p.AddVar("x", 1, 0, 1)
+	p.AddConstraint("c", []Term{{x, 1}}, GE, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(sol.Status.Err(), ErrInfeasible) {
+		t.Fatalf("status %v Err() = %v, want ErrInfeasible", sol.Status, sol.Status.Err())
+	}
+}
+
+func TestIterLimitStatusErr(t *testing.T) {
+	p := New(Maximize)
+	x := p.AddVar("x", 3, 0, Inf())
+	y := p.AddVar("y", 5, 0, Inf())
+	p.AddConstraint("c1", []Term{{x, 1}}, LE, 4)
+	p.AddConstraint("c2", []Term{{y, 2}}, LE, 12)
+	p.AddConstraint("c3", []Term{{x, 3}, {y, 2}}, LE, 18)
+	sol, err := p.SolveOpts(Options{MaxIters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(sol.Status.Err(), ErrIterLimit) {
+		t.Fatalf("status %v Err() = %v, want ErrIterLimit", sol.Status, sol.Status.Err())
+	}
+}

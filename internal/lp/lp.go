@@ -105,6 +105,38 @@ func (s Status) String() string {
 // Solve.
 var ErrNotSolved = errors.New("lp: problem has not been solved to optimality")
 
+// Typed sentinel errors. SolveOpts returns ErrNoVariables directly for a
+// structurally empty problem; the model-outcome statuses map to the other
+// sentinels via Status.Err, so callers that treat a non-optimal status as
+// a failure can wrap the sentinel with %w and let their own callers match
+// it with errors.Is instead of parsing status strings.
+var (
+	// ErrNoVariables reports a Problem with no decision variables.
+	ErrNoVariables = errors.New("lp: problem has no variables")
+	// ErrInfeasible reports a constraint system with no feasible point.
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	// ErrUnbounded reports an objective unbounded over the feasible region.
+	ErrUnbounded = errors.New("lp: problem is unbounded")
+	// ErrIterLimit reports an exhausted iteration budget.
+	ErrIterLimit = errors.New("lp: iteration limit reached")
+)
+
+// Err maps the status to its sentinel error: nil for StatusOptimal,
+// ErrInfeasible/ErrUnbounded/ErrIterLimit otherwise.
+func (s Status) Err() error {
+	switch s {
+	case StatusOptimal:
+		return nil
+	case StatusInfeasible:
+		return ErrInfeasible
+	case StatusUnbounded:
+		return ErrUnbounded
+	case StatusIterLimit:
+		return ErrIterLimit
+	}
+	return fmt.Errorf("lp: unknown status %d", int(s))
+}
+
 // Inf is a convenience for an unbounded-above variable limit.
 func Inf() float64 { return math.Inf(1) }
 
@@ -180,8 +212,18 @@ type Options struct {
 	Tol float64
 	// Presolve enables fixed-variable substitution, singleton-row bound
 	// tightening, and empty-row elimination before the simplex. Solutions
-	// found under presolve carry no Duals.
+	// found under presolve carry no Duals (and no Basis: the reduced
+	// model's columns do not map to the full column space).
 	Presolve bool
+	// WarmBasis, when non-nil, starts the solve from a previously captured
+	// optimal basis (Solution.Basis) instead of the all-slack/artificial
+	// initial basis. The basis must come from a problem of identical shape
+	// — same variable count, same constraints with the same operators — as
+	// arises when only the numeric data (volumes, capacities) changed; a
+	// basis that no longer fits or is primal-infeasible for the new data is
+	// silently discarded and the solve falls back to a cold start.
+	// WarmBasis takes precedence over Presolve.
+	WarmBasis *Basis
 	// Metrics, when non-nil, receives solver observability: per-phase
 	// pivot counts, Bland-rule activations, presolve eliminations, and
 	// solve wall time. The registry is write-only — it never influences
@@ -204,6 +246,11 @@ type Solution struct {
 	// Section 5 needs.
 	Duals []float64
 	Iters int // simplex iterations used (both phases)
+	// Basis is the optimal basis in the solver's column space, captured at
+	// StatusOptimal on non-presolved solves (nil otherwise). Feed it to
+	// Options.WarmBasis to re-solve a same-shaped problem with perturbed
+	// data pivoting from this optimum instead of from scratch.
+	Basis *Basis
 	// Stats carries deterministic solve counters. They are derived from
 	// the computation itself (never from the clock), so two solves of the
 	// same problem report identical Stats regardless of Options.Metrics.
@@ -241,15 +288,26 @@ func (p *Problem) Solve() (*Solution, error) { return p.SolveOpts(Options{}) }
 // from programming errors.
 func (p *Problem) SolveOpts(opts Options) (*Solution, error) {
 	if len(p.vars) == 0 {
-		return nil, errors.New("lp: problem has no variables")
+		return nil, ErrNoVariables
 	}
 	sp := opts.Metrics.StartSpan("lp.solve_ns")
 	var sol *Solution
 	var err error
-	if opts.Presolve {
+	warmTried, warmUsed := false, false
+	if opts.Presolve && opts.WarmBasis == nil {
 		sol, err = solveWithPresolve(p, opts)
 	} else {
 		s := newSimplex(p, opts)
+		if opts.WarmBasis != nil {
+			warmTried = true
+			warmUsed = s.installBasis(opts.WarmBasis)
+			if !warmUsed {
+				// The basis no longer fits (shape change, singularity, or
+				// primal infeasibility at the new data); restart cold on a
+				// fresh tableau.
+				s = newSimplex(p, opts)
+			}
+		}
 		sol, err = s.solve()
 	}
 	sp.End()
@@ -263,6 +321,13 @@ func (p *Problem) SolveOpts(opts Options) (*Solution, error) {
 		m.Add("lp.bland_activations", int64(sol.Stats.BlandActivations))
 		m.Add("lp.presolve_fixed_vars", int64(sol.Stats.PresolveFixedVars))
 		m.Add("lp.presolve_dropped_rows", int64(sol.Stats.PresolveDroppedRows))
+		if warmTried {
+			if warmUsed {
+				m.Add("lp.warm_starts", 1)
+			} else {
+				m.Add("lp.warm_rejects", 1)
+			}
+		}
 		if sol.Status != StatusOptimal {
 			m.Add("lp.solves_"+sol.Status.String(), 1)
 		}

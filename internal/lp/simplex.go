@@ -57,6 +57,11 @@ type simplex struct {
 
 	degenStreak int // consecutive (near-)zero-step iterations
 	blandCount  int // times the degeneracy streak forced Bland's rule on
+
+	// warm records that installBasis succeeded: the current basis is
+	// primal-feasible with artificials frozen at zero, so solve skips
+	// phase 1 outright.
+	warm bool
 }
 
 const degenSwitch = 400 // switch to Bland's rule after this many degenerate steps
@@ -380,7 +385,10 @@ func (s *simplex) pivot(r, j int) {
 		}
 		row[j] = 0 // exact
 	}
-	// Cost row.
+	// Cost row (absent during installBasis, before a phase loads one).
+	if s.cost == nil {
+		return
+	}
 	if f := s.cost[j]; f != 0 {
 		for k := 0; k < s.nTotal; k++ {
 			s.cost[k] -= f * prow[k]
@@ -485,7 +493,7 @@ func (s *simplex) solve() (*Solution, error) {
 	feasTol := math.Max(1e-7, s.tol*100)
 
 	phase1Iters := 0
-	if s.firstArt < s.nTotal {
+	if s.firstArt < s.nTotal && !s.warm {
 		s.phase1Costs()
 		st := s.iterate()
 		phase1Iters = s.iters
@@ -511,6 +519,7 @@ func (s *simplex) solve() (*Solution, error) {
 	sol := &Solution{Status: st, Iters: s.iters, Stats: s.stats(phase1Iters)}
 	if st == StatusOptimal {
 		sol.Duals = s.extractDuals()
+		sol.Basis = s.captureBasis()
 	}
 	if st == StatusOptimal || st == StatusIterLimit {
 		sol.X = s.extractX()

@@ -1,0 +1,207 @@
+package lp
+
+import "math"
+
+// Warm starting: the deployment planner re-solves its placement LP every
+// few minutes against slightly perturbed traffic volumes (the paper's
+// Section 5 "Traffic changes" cadence). The optimal basis of the previous
+// solve is almost always primal-feasible — and near-optimal — for the new
+// data, because the column space is a pure function of the problem's
+// *shape* (variables, rows, operators), not of its numbers. Re-solving
+// from that basis skips phase 1 entirely and typically needs a handful of
+// phase-2 pivots instead of hundreds.
+
+// Basis is a simplex basis snapshot in the solver's total column space:
+// structural variables first (AddVar order), then one slack/surplus column
+// per inequality row, then one artificial per GE/EQ row. A Basis captured
+// from one solve (Solution.Basis) can warm-start any problem with the same
+// shape via Options.WarmBasis.
+type Basis struct {
+	// Cols and Rows pin the column space the basis lives in; a solve
+	// rejects a basis whose dimensions do not match its own tableau.
+	Cols, Rows int
+	// Basic holds the column basic in each row, in row order.
+	Basic []int
+	// AtUpper lists the nonbasic columns resting at a finite upper bound;
+	// all other nonbasic columns rest at their (shifted) lower bound.
+	AtUpper []int
+}
+
+// Clone returns a deep copy, detaching the snapshot from any later reuse.
+func (b *Basis) Clone() *Basis {
+	if b == nil {
+		return nil
+	}
+	return &Basis{
+		Cols:    b.Cols,
+		Rows:    b.Rows,
+		Basic:   append([]int(nil), b.Basic...),
+		AtUpper: append([]int(nil), b.AtUpper...),
+	}
+}
+
+// captureBasis snapshots the current basis and bound states.
+func (s *simplex) captureBasis() *Basis {
+	b := &Basis{Cols: s.nTotal, Rows: s.m, Basic: append([]int(nil), s.basis...)}
+	for j := 0; j < s.nTotal; j++ {
+		if s.state[j] == atUpper {
+			b.AtUpper = append(b.AtUpper, j)
+		}
+	}
+	return b
+}
+
+// installBasis pivots the construction-time tableau onto the given basis
+// and validates primal feasibility of the resulting point. On success the
+// solver is flagged warm — phase 1 is skipped and artificials stay frozen
+// at zero. On failure (dimension mismatch, singular basis, infeasible
+// point) it returns false with the tableau left mid-transformation: the
+// caller must rebuild the simplex for a cold start.
+func (s *simplex) installBasis(b *Basis) bool {
+	if b == nil || b.Cols != s.nTotal || b.Rows != s.m || len(b.Basic) != s.m {
+		return false
+	}
+	want := make([]bool, s.nTotal)
+	for _, j := range b.Basic {
+		if j < 0 || j >= s.nTotal || want[j] {
+			return false
+		}
+		want[j] = true
+	}
+	upper := make([]bool, s.nTotal)
+	for _, j := range b.AtUpper {
+		if j < 0 || j >= s.nTotal || want[j] {
+			return false
+		}
+		upper[j] = true
+	}
+
+	// Pivot each wanted column into a row currently held by an unwanted
+	// basic, choosing the largest available pivot. Passes repeat because a
+	// wanted column can gain usable magnitude in a row only after earlier
+	// pivots; each pass either finishes the basis or strictly shrinks the
+	// missing set, so termination is bounded by the row count.
+	const pivTol = 1e-7
+	for {
+		progress, missing := false, false
+		for _, j := range b.Basic {
+			if s.state[j] == basic {
+				continue
+			}
+			best, bestA := -1, pivTol
+			for r := 0; r < s.m; r++ {
+				if want[s.basis[r]] {
+					continue // row already owned by a wanted column
+				}
+				if a := math.Abs(s.tab[r*s.stride+j]); a > bestA {
+					best, bestA = r, a
+				}
+			}
+			if best < 0 {
+				missing = true
+				continue
+			}
+			old := s.basis[best]
+			s.pivot(best, j)
+			s.basis[best] = j
+			s.state[j] = basic
+			s.state[old] = atLower
+			progress = true
+		}
+		if !missing {
+			break
+		}
+		if !progress {
+			return false // singular: a wanted column admits no pivot
+		}
+	}
+
+	// Freeze artificials exactly as a completed phase 1 would: a basic
+	// artificial (redundant row) may stay, pinned to zero. This must happen
+	// before bound-state restoration — the donor solve records zero-width
+	// artificials it bound-flipped as AtUpper, and restoring them against
+	// the construction-time infinite bound would demote them to atLower and
+	// replay every one of those degenerate flips.
+	for j := s.firstArt; j < s.nTotal; j++ {
+		s.ub[j] = 0
+	}
+	// Nonbasic bound states per the snapshot. A recorded atUpper column
+	// whose bound is infinite here (shape drift the dimension check cannot
+	// see) falls back to atLower; the feasibility check below arbitrates.
+	for j := 0; j < s.nTotal; j++ {
+		if s.state[j] == basic {
+			continue
+		}
+		if upper[j] && !math.IsInf(s.ub[j], 1) {
+			s.state[j] = atUpper
+		} else {
+			s.state[j] = atLower
+		}
+	}
+
+	if !s.repairBounds(math.Max(1e-7, s.tol*100)) {
+		return false
+	}
+	s.warm = true
+	return true
+}
+
+// repairBounds restores primal feasibility after a basis install. When the
+// replanned problem's constraint coefficients (not just its rhs) moved, the
+// old basis maps to a slightly different primal point, and basic variables
+// that rested exactly on a bound drift just outside it. Each repair demotes
+// such a variable to the violated bound and pivots the row's numerically
+// best nonbasic column into the basis in its place — the bounded-variable
+// analogue of a crash repair. Passes are capped; the final exact check is
+// the arbiter, so a repair that fails to converge simply rejects the warm
+// start and the caller solves cold.
+func (s *simplex) repairBounds(feasTol float64) bool {
+	const pivTol = 1e-7
+	for pass := 0; pass < 4; pass++ {
+		s.refreshBeta()
+		clean := true
+		for r := 0; r < s.m; r++ {
+			v := s.beta[r]
+			b := s.basis[r]
+			var demote varState
+			if v < -feasTol {
+				demote = atLower
+			} else if u := s.ub[b]; !math.IsInf(u, 1) && v > u+feasTol {
+				demote = atUpper
+			} else {
+				continue
+			}
+			clean = false
+			best, bestA := -1, pivTol
+			for j := 0; j < s.nTotal; j++ {
+				if s.state[j] == basic || s.ub[j] == 0 {
+					continue // fixed columns (frozen artificials) cannot absorb
+				}
+				if a := math.Abs(s.tab[r*s.stride+j]); a > bestA {
+					best, bestA = j, a
+				}
+			}
+			if best < 0 {
+				return false
+			}
+			s.pivot(r, best)
+			s.basis[r] = best
+			s.state[best] = basic
+			s.state[b] = demote
+		}
+		if clean {
+			return true
+		}
+	}
+	s.refreshBeta()
+	for r := 0; r < s.m; r++ {
+		v := s.beta[r]
+		if v < -feasTol {
+			return false
+		}
+		if u := s.ub[s.basis[r]]; !math.IsInf(u, 1) && v > u+feasTol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,29 @@
+package nips
+
+import (
+	"errors"
+	"testing"
+
+	"nwdeploy/internal/lp"
+)
+
+// TestRelaxationInfeasibleMatchesSentinel pins the error contract: when the
+// relaxation LP has no feasible point, callers can detect it structurally
+// with errors.Is through the nips wrapping layer instead of parsing the
+// message.
+func TestRelaxationInfeasibleMatchesSentinel(t *testing.T) {
+	inst := smallInstance(t, 8, 15, 0.15)
+	// Every NIPS row is an upper bound over nonnegative terms, so the
+	// all-zero deployment satisfies any nonnegative capacity; a negative
+	// capacity is the minimal perturbation with no feasible point.
+	for j := range inst.CPUCap {
+		inst.CPUCap[j] = -1
+	}
+	_, err := SolveRelaxation(inst)
+	if err == nil {
+		t.Fatal("zero-capacity relaxation solved")
+	}
+	if !errors.Is(err, lp.ErrInfeasible) {
+		t.Fatalf("error %v does not match lp.ErrInfeasible", err)
+	}
+}

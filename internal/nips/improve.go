@@ -75,7 +75,7 @@ func resolveLP(inst *Instance, dep *Deployment, metrics *obs.Registry) error {
 		return fmt.Errorf("nips: resolve LP: %w", err)
 	}
 	if sol.Status != lp.StatusOptimal {
-		return fmt.Errorf("nips: resolve LP %v", sol.Status)
+		return fmt.Errorf("nips: resolve LP: %w", sol.Status.Err())
 	}
 	for i := range dep.D {
 		for k := range dep.D[i] {

@@ -228,7 +228,7 @@ func solveRelaxation(inst *Instance, metrics *obs.Registry) (*Relaxation, error)
 		return nil, fmt.Errorf("nips: relaxation: %w", err)
 	}
 	if sol.Status != lp.StatusOptimal {
-		return nil, fmt.Errorf("nips: relaxation %v", sol.Status)
+		return nil, fmt.Errorf("nips: relaxation: %w", sol.Status.Err())
 	}
 
 	rel := &Relaxation{Objective: sol.Objective, Iters: sol.Iters}

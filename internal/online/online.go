@@ -222,7 +222,7 @@ func solveLambda(inst *nips.Instance, weight func(i, k int) float64, perturb fun
 		return nil, fmt.Errorf("online: Lambda: %w", err)
 	}
 	if sol.Status != lp.StatusOptimal {
-		return nil, fmt.Errorf("online: Lambda %v", sol.Status)
+		return nil, fmt.Errorf("online: Lambda: %w", sol.Status.Err())
 	}
 	d := &Decision{D: make([][][]float64, len(inst.Rules))}
 	for i := range inst.Rules {
