@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench fuzz vet test build
+.PHONY: check race bench fuzz vet test build trace
 
 # Tier-1 verification: everything must build, vet cleanly, and the full
 # test suite pass.
@@ -40,12 +40,41 @@ fuzz:
 # warm- vs cold-started replan solves, the shed hook's per-packet cost, and
 # BENCH_governor.json with the overload grid's replan/shed counters
 # (overload.replan_iters_warm vs _cold, governor.sheds/restores).
+# BenchmarkTraceOverhead prints the full-epoch cost with the flight
+# recorder off vs on (the acceptance bar is <= 5% slowdown when on), and
+# the traced overload run leaves BENCH_trace.json (trace.events /
+# trace.dropped gauges alongside the run's metrics) plus the JSONL dump
+# itself in BENCH_trace.jsonl.
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) test -bench=. -benchmem ./internal/obs/
 	$(GO) test -bench=ClusterConverge -benchmem ./internal/cluster/
+	$(GO) test -bench=TraceOverhead -benchmem ./internal/cluster/
 	$(GO) test -bench=WarmVsColdReplan -benchmem ./internal/lp/
 	$(GO) test -bench=ShedFilter -benchmem ./internal/bro/
 	$(GO) run ./cmd/experiments -quick -metrics BENCH_obs.json >/dev/null
 	$(GO) run ./cmd/experiments -quick -only overload -metrics BENCH_governor.json >/dev/null
 	$(GO) run ./cmd/cluster -sessions 2000 -epochs 6 -metrics BENCH_cluster.json >/dev/null
+	$(GO) run ./cmd/cluster -overload -governor -redundancy 2 \
+		-sessions 1500 -epochs 5 -burstfactor 1.8 -burstprob 0.5 \
+		-basejitter 0.05 -probes 500 -seed 5 \
+		-trace BENCH_trace.jsonl -metrics BENCH_trace.json >/dev/null
+
+# Trace tier: smoke the flight recorder end to end. A seeded overload run
+# with forced governor shedding writes its JSONL post-mortem twice — once
+# with -workers 1, once with -workers 4 — the two dumps must be
+# byte-identical (the tracing determinism contract), and cmd/tracecheck
+# validates the wire schema (known event types, hex IDs, per-component
+# seq monotonicity, header/body consistency).
+trace:
+	$(GO) run ./cmd/cluster -overload -governor -redundancy 2 \
+		-sessions 1500 -epochs 5 -burstfactor 1.8 -burstprob 0.5 \
+		-basejitter 0.05 -probes 500 -seed 5 \
+		-trace trace_w1.jsonl -workers 1 >/dev/null
+	$(GO) run ./cmd/cluster -overload -governor -redundancy 2 \
+		-sessions 1500 -epochs 5 -burstfactor 1.8 -burstprob 0.5 \
+		-basejitter 0.05 -probes 500 -seed 5 \
+		-trace trace_w4.jsonl -workers 4 >/dev/null
+	cmp trace_w1.jsonl trace_w4.jsonl
+	$(GO) run ./cmd/tracecheck trace_w1.jsonl trace_w4.jsonl
+	rm -f trace_w1.jsonl trace_w4.jsonl

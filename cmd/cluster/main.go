@@ -12,7 +12,10 @@
 //	        [-seed 1] [-lossprob 0.2] [-blackholeprob 0.05]
 //	        [-nodefailprob 0.15] [-outageprob 0.1] [-maxdown 0]
 //	        [-stalegrace 2] [-reoptevery 3] [-workers 0] [-probes 2000]
-//	        [-metrics run.json]
+//	        [-metrics run.json] [-trace run.trace.jsonl] [-ringsize 512]
+//	        [-slo-worst-cov 0] [-slo-avg-cov 0] [-slo-max-shed -1]
+//	        [-slo-max-replan-iters -1] [-slo-max-fetch-fail -1]
+//	        [-slo-max-dark -1] [-slo-deadline-miss]
 //	cluster -overload [-burstfactor 4] [-burstprob 0.15] [-governor]
 //	        [-replan] [-warmreplan] [-replanthreshold 0.2] [-replanmaxiters 0]
 //	        [common flags as above]
@@ -22,6 +25,14 @@
 // for the determinism contract). With -redundancy 2 the path-scoped module
 // subset is deployed (ingress/egress-scoped units admit only one copy) and
 // -maxdown defaults to r-1, putting the coverage guarantee on trial.
+//
+// With -trace the run records its flight recorder (internal/trace): every
+// control-plane decision lands in per-component rings, and the JSONL dump
+// — written at the first guarantee violation, or at run end when the run
+// finishes clean — reconstructs the causal chain (burst → overrun → shed →
+// replan). The dump is byte-identical across -workers values. The -slo-*
+// flags arm the per-epoch SLO watchdog; breaches show in the table's slo
+// column and trigger the post-mortem.
 //
 // With -overload the fault injector is replaced by a bursty traffic series:
 // per-node load governors (-governor) shed hash ranges deterministically when
@@ -44,6 +55,7 @@ import (
 	"nwdeploy/internal/cluster"
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/topology"
+	"nwdeploy/internal/trace"
 )
 
 func main() {
@@ -64,9 +76,19 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); output is identical for every value")
 	probes := flag.Int("probes", 2000, "coverage probe points per coordination unit")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+	tracePath := flag.String("trace", "", "record the flight recorder and write its JSONL dump to this file")
+	ringSize := flag.Int("ringsize", 512, "flight-recorder ring capacity per component (events)")
+	sloWorst := flag.Float64("slo-worst-cov", 0, "SLO: minimum per-epoch worst-node coverage (0 disables)")
+	sloAvg := flag.Float64("slo-avg-cov", 0, "SLO: minimum per-epoch average coverage (0 disables)")
+	sloShed := flag.Float64("slo-max-shed", -1, "SLO: maximum total shed width per epoch (negative disables)")
+	sloIters := flag.Int("slo-max-replan-iters", -1, "SLO: maximum replan simplex iterations per epoch (negative disables)")
+	sloFetchFail := flag.Int("slo-max-fetch-fail", -1, "SLO: maximum fetch failures per epoch (negative disables)")
+	sloDark := flag.Int("slo-max-dark", -1, "SLO: maximum dark agents per epoch (negative disables)")
+	sloDeadline := flag.Bool("slo-deadline-miss", false, "SLO: treat a missed replan deadline as a violation")
 	overload := flag.Bool("overload", false, "run the overload scenario (bursty traffic + governor/replanning) instead of fault injection")
 	burstFactor := flag.Float64("burstfactor", 4, "overload: volume multiplier on a bursting pair")
 	burstProb := flag.Float64("burstprob", 0.15, "overload: per-(epoch, pair) burst probability")
+	baseJitter := flag.Float64("basejitter", 0.1, "overload: multiplicative noise around the mean traffic volume")
 	governorOn := flag.Bool("governor", false, "overload: enable the per-node load governor (shed over budget)")
 	replan := flag.Bool("replan", false, "overload: enable drift-triggered replanning")
 	warmReplan := flag.Bool("warmreplan", false, "overload: warm-start replans from the previous basis")
@@ -92,16 +114,55 @@ func main() {
 		log.Fatalf("unknown topology %q", *topoName)
 	}
 
+	metrics := obs.New()
+	var tracer *trace.Tracer
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatalf("creating trace file: %v", err)
+		}
+		traceFile = f
+		tracer = trace.New(trace.Options{Seed: *seed, RingSize: *ringSize})
+		tracer.SetSink(f)
+	}
+	slo := trace.Disabled()
+	slo.MinWorstCoverage = *sloWorst
+	slo.MinAvgCoverage = *sloAvg
+	slo.MaxShedWidth = *sloShed
+	slo.MaxReplanIters = *sloIters
+	slo.MaxFetchFailures = *sloFetchFail
+	slo.MaxDarkAgents = *sloDark
+	slo.DeadlineMissIsViolation = *sloDeadline
+	watchdog := trace.NewWatchdog(slo)
+	// finishTrace flushes the post-mortem if no violation already did, so a
+	// -trace run always leaves a dump behind, then reports recorder totals
+	// (also exported through -metrics as trace.events / trace.dropped).
+	finishTrace := func() {
+		if tracer == nil {
+			return
+		}
+		tracer.DumpOnce("run_end")
+		emitted, dropped := tracer.Stats()
+		metrics.Set("trace.events", float64(emitted))
+		metrics.Set("trace.dropped", float64(dropped))
+		if err := traceFile.Close(); err != nil {
+			log.Fatalf("closing trace file: %v", err)
+		}
+		fmt.Printf("# trace: %d events recorded (%d evicted from rings) -> %s\n",
+			emitted, dropped, *tracePath)
+	}
+
 	if *overload {
-		metrics := obs.New()
 		ocfg := cluster.OverloadConfig{
 			Topo: topo, Sessions: *sessions, Epochs: *epochs,
 			Redundancy: *redundancy, Seed: *seed,
-			BurstFactor: *burstFactor, BurstProb: *burstProb,
+			BurstFactor: *burstFactor, BurstProb: *burstProb, BaseJitter: *baseJitter,
 			Governor: *governorOn,
 			Replan:   *replan, WarmReplan: *warmReplan,
 			ReplanThreshold: *replanThreshold, ReplanMaxIters: *replanMaxIters,
 			Workers: *workers, Probes: *probes, Metrics: metrics,
+			Trace: tracer, Watchdog: watchdog,
 		}
 		rep, err := cluster.RunOverload(ocfg)
 		if err != nil {
@@ -110,16 +171,18 @@ func main() {
 		fmt.Printf("# %s: %d nodes, %d sessions, redundancy %d, seed %d, governor %v, replan %v (warm %v), objective %.4f\n",
 			rep.Topology, rep.Nodes, rep.Sessions, rep.Redundancy, rep.Seed,
 			rep.Governor, rep.Replan, rep.WarmReplan, rep.Objective)
-		fmt.Println("epoch\tmax_rel_err\tdrifted\treplanned\twarm\treplan_iters\tmissed\tover_budget\tfloor_limited\tshed_width\tworst_cov\tavg_cov\tshed_floor_worst\tsynced")
+		fmt.Println("epoch\tmax_rel_err\tdrifted\treplanned\twarm\treplan_iters\tmissed\tover_budget\tfloor_limited\tshed_width\tworst_cov\tavg_cov\tshed_floor_worst\tsynced\tslo")
 		for _, e := range rep.Epochs {
-			fmt.Printf("%d\t%.4f\t%v\t%v\t%v\t%d\t%v\t%d\t%d\t%.4f\t%.4f\t%.4f\t%.4f\t%d\n",
+			fmt.Printf("%d\t%.4f\t%v\t%v\t%v\t%d\t%v\t%d\t%d\t%.4f\t%.4f\t%.4f\t%.4f\t%d\t%s\n",
 				e.Epoch, e.MaxRelErr, e.Drifted, e.Replanned, e.ReplanWarm,
 				e.ReplanIters, e.ReplanMissed, e.OverBudget, e.Unsatisfied, e.ShedWidth,
-				e.WorstCoverage, e.AvgCoverage, e.ShedFloorWorst, e.SyncedAgents)
+				e.WorstCoverage, e.AvgCoverage, e.ShedFloorWorst, e.SyncedAgents,
+				sloCell(e.SLOViolations))
 		}
 		fmt.Printf("# summary: worst coverage %.4f, avg %.4f, max over-budget nodes %d, replans %d (missed %d, %d iters)\n",
 			rep.WorstCoverage, rep.AvgCoverage, rep.MaxOverBudget,
 			rep.Replans, rep.MissedReplans, rep.TotalReplanIters)
+		finishTrace()
 		if *metricsPath != "" {
 			if err := metrics.WriteFile(*metricsPath); err != nil {
 				log.Fatalf("writing metrics: %v", err)
@@ -149,8 +212,9 @@ func main() {
 			cfg.MaxDown = *redundancy - 1
 		}
 	}
-	metrics := obs.New()
 	cfg.Metrics = metrics
+	cfg.Trace = tracer
+	cfg.Watchdog = watchdog
 
 	rep, err := cluster.CoverageUnderChaos(cfg)
 	if err != nil {
@@ -159,7 +223,7 @@ func main() {
 
 	fmt.Printf("# %s: %d nodes, %d sessions, redundancy %d, seed %d, objective %.4f\n",
 		rep.Topology, rep.Nodes, rep.Sessions, rep.Redundancy, rep.Seed, rep.Objective)
-	fmt.Println("epoch\tctrl_epoch\tctrl_down\tdown_nodes\tsynced\tstale\tdark\tfetch_att\tfetch_fail\ttimeouts\talerts\tworst_cov\tavg_cov\tpredicted_worst")
+	fmt.Println("epoch\tctrl_epoch\tctrl_down\tdown_nodes\tsynced\tstale\tdark\tfetch_att\tfetch_fail\ttimeouts\talerts\tworst_cov\tavg_cov\tpredicted_worst\tslo")
 	holds := true
 	for _, e := range rep.Epochs {
 		down := "-"
@@ -170,11 +234,12 @@ func main() {
 			}
 			down = strings.Join(parts, ",")
 		}
-		fmt.Printf("%d\t%d\t%v\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.4f\t%.4f\t%.4f\n",
+		fmt.Printf("%d\t%d\t%v\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.4f\t%.4f\t%.4f\t%s\n",
 			e.Epoch, e.ControllerEpoch, e.ControllerDown, down,
 			e.SyncedAgents, e.StaleAgents, e.DarkAgents,
 			e.FetchAttempts, e.FetchFailures, e.FetchTimeouts, e.Alerts,
-			e.WorstCoverage, e.AvgCoverage, e.PredictedWorst)
+			e.WorstCoverage, e.AvgCoverage, e.PredictedWorst,
+			sloCell(e.SLOViolations))
 		if len(e.DownNodes) <= rep.Redundancy-1 && e.DarkAgents == 0 && e.WorstCoverage < 1 {
 			holds = false
 		}
@@ -185,10 +250,20 @@ func main() {
 		fmt.Printf("# verdict: coverage guarantee VIOLATED on at least one epoch\n")
 	}
 
+	finishTrace()
 	if *metricsPath != "" {
 		if err := metrics.WriteFile(*metricsPath); err != nil {
 			log.Fatalf("writing metrics: %v", err)
 		}
 	}
 	_ = os.Stdout.Sync()
+}
+
+// sloCell renders an epoch's watchdog verdicts for the table: "ok" when
+// clean, else the breached rules joined with commas.
+func sloCell(violations []string) string {
+	if len(violations) == 0 {
+		return "ok"
+	}
+	return strings.Join(violations, ",")
 }

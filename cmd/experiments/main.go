@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-quick] [-workers n] [-only fig5,fig6,fig7,fig8,fig10,fig11,opttime,redundancy,ablations,adversaries,chaos,overload]
-//	            [-metrics run.json] [-pprof 127.0.0.1:6060]
+//	            [-metrics run.json] [-trace run.trace.jsonl] [-pprof 127.0.0.1:6060]
 //
 // With -quick the reduced workload sizes are used (seconds per experiment);
 // without it the full evaluation sizes run (several minutes on one core —
@@ -13,8 +13,11 @@
 // prefixed by a "# figure" header naming the paper artifact it reproduces
 // and the workload parameters, so the output can be diffed across runs and
 // fed straight to a plotter. -metrics dumps the suite's accumulated solver
-// and emulation counters as JSON on exit; -pprof serves live profiling and
-// /metrics while the suite runs.
+// and emulation counters as JSON on exit; -trace records the chaos and
+// overload runners' flight recorder and writes its JSONL dump on exit
+// (forcing the experiment blocks serial, since a shared tracer across
+// concurrent blocks would interleave component sequences); -pprof serves
+// live profiling, /metrics, and /trace while the suite runs.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/obs/obshttp"
 	"nwdeploy/internal/parallel"
+	"nwdeploy/internal/trace"
 )
 
 // runner is one experiment block: it renders its whole output (header plus
@@ -45,14 +49,19 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	only := flag.String("only", "", "comma-separated subset of experiments to run")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
-	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /debug/vars, and /metrics on this address")
+	tracePath := flag.String("trace", "", "record the chaos/overload flight recorder and write its JSONL dump to this file (forces serial experiment blocks)")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /debug/vars, /metrics, and /trace on this address")
 	flag.Parse()
 
 	metrics := obs.New()
 	metrics.Publish("nwdeploy")
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		tracer = trace.New(trace.Options{Seed: 29})
+	}
 	if *pprofAddr != "" {
 		go func() {
-			if err := obshttp.Serve(*pprofAddr, metrics); err != nil {
+			if err := obshttp.Serve(*pprofAddr, metrics, tracer); err != nil {
 				log.Printf("pprof server: %v", err)
 			}
 		}()
@@ -91,7 +100,13 @@ func main() {
 	// run at once, each keeps its inner sweeps serial so the pool is not
 	// oversubscribed. A lone block gets the whole pool for its sweeps.
 	runnerWorkers := parallel.Resolve(*workers, len(selected))
-	cfg := experiments.Config{Quick: *quick, Workers: *workers, Metrics: metrics}
+	if tracer != nil {
+		// One tracer shared by concurrent blocks would interleave component
+		// event sequences nondeterministically; serial blocks keep the dump
+		// a pure function of the flags.
+		runnerWorkers = 1
+	}
+	cfg := experiments.Config{Quick: *quick, Workers: *workers, Metrics: metrics, Trace: tracer}
 	if runnerWorkers > 1 {
 		cfg.Workers = 1
 	}
@@ -107,6 +122,18 @@ func main() {
 	}
 	for _, out := range outputs {
 		os.Stdout.WriteString(out)
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatalf("creating trace file: %v", err)
+		}
+		if err := tracer.Dump(f, "run_end"); err != nil {
+			log.Fatalf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("closing trace file: %v", err)
+		}
 	}
 	if *metricsPath != "" {
 		if err := metrics.WriteFile(*metricsPath); err != nil {

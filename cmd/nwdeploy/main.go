@@ -119,7 +119,7 @@ func main() {
 	metrics.Publish("nwdeploy")
 	if *pprofAddr != "" {
 		go func() {
-			if err := obshttp.Serve(*pprofAddr, metrics); err != nil {
+			if err := obshttp.Serve(*pprofAddr, metrics, nil); err != nil {
 				log.Printf("pprof server: %v", err)
 			}
 		}()

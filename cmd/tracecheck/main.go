@@ -1,0 +1,190 @@
+// Command tracecheck validates a flight-recorder JSONL dump produced by
+// -trace (cmd/cluster, cmd/experiments) or the obshttp /trace endpoint
+// against the internal/trace wire schema:
+//
+//   - every line is a JSON object decoding into trace.Event with no
+//     unknown fields;
+//   - the first line is the synthetic "dump" header naming the reason,
+//     and no other line is;
+//   - every event type is in trace.KnownTypes();
+//   - trace/span/parent IDs are 16 lowercase hex digits;
+//   - per component, Seq is strictly increasing (gaps are legal — they
+//     are ring evictions — and are reported, not rejected);
+//   - the header's components/events attrs match the body.
+//
+// Usage:
+//
+//	tracecheck [-q] file.jsonl...
+//
+// It prints one summary line per file (suppressed by -q) and exits
+// non-zero on the first invalid file, so it slots into the Makefile's
+// trace smoke tier.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nwdeploy/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	quiet := flag.Bool("q", false, "suppress per-file summaries")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: tracecheck [-q] file.jsonl...")
+	}
+	for _, path := range flag.Args() {
+		sum, err := checkFile(path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		if !*quiet {
+			fmt.Printf("%s: ok — reason %q, %d components, %d events, %d evicted\n",
+				path, sum.reason, sum.components, sum.events, sum.evicted)
+		}
+	}
+}
+
+type summary struct {
+	reason     string
+	components int
+	events     int
+	evicted    int
+}
+
+func checkFile(path string) (*summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	known := map[string]bool{}
+	for _, t := range trace.KnownTypes() {
+		known[t] = true
+	}
+
+	var (
+		sum      summary
+		line     int
+		events   int
+		lastSeq  = map[string]int{}
+		comps    = map[string]bool{}
+		declared struct{ components, events int }
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			return nil, fmt.Errorf("line %d: empty line", line)
+		}
+		var ev trace.Event
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		if !known[ev.Type] {
+			return nil, fmt.Errorf("line %d: unknown event type %q", line, ev.Type)
+		}
+		if err := checkID("trace", ev.Trace, false); err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		if err := checkID("span", ev.Span, false); err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		if err := checkID("parent", ev.Parent, true); err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		if ev.Comp == "" {
+			return nil, fmt.Errorf("line %d: missing comp", line)
+		}
+		if line == 1 {
+			if ev.Type != trace.EvDump {
+				return nil, fmt.Errorf("line 1: first line must be the %q header, got %q", trace.EvDump, ev.Type)
+			}
+			attrs := attrMap(ev.Attrs)
+			sum.reason = attrs["reason"]
+			if sum.reason == "" {
+				return nil, fmt.Errorf("line 1: dump header has no reason attr")
+			}
+			if _, err := fmt.Sscan(attrs["components"], &declared.components); err != nil {
+				return nil, fmt.Errorf("line 1: bad components attr %q", attrs["components"])
+			}
+			if _, err := fmt.Sscan(attrs["events"], &declared.events); err != nil {
+				return nil, fmt.Errorf("line 1: bad events attr %q", attrs["events"])
+			}
+			continue
+		}
+		if ev.Type == trace.EvDump {
+			return nil, fmt.Errorf("line %d: duplicate %q header", line, trace.EvDump)
+		}
+		events++
+		key := fmt.Sprintf("%s/%d", ev.Comp, ev.Node)
+		if last, seen := lastSeq[key]; seen {
+			if ev.Seq <= last {
+				return nil, fmt.Errorf("line %d: component %s seq %d not after %d", line, key, ev.Seq, last)
+			}
+			sum.evicted += ev.Seq - last - 1
+		} else {
+			// The first retained seq > 0 means earlier events were evicted.
+			sum.evicted += ev.Seq
+		}
+		lastSeq[key] = ev.Seq
+		comps[key] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if line == 0 {
+		return nil, fmt.Errorf("empty file: no dump header")
+	}
+	if events != declared.events {
+		return nil, fmt.Errorf("header declares %d events, body holds %d", declared.events, events)
+	}
+	if len(comps) != declared.components {
+		return nil, fmt.Errorf("header declares %d components, body holds %d", declared.components, len(comps))
+	}
+	sum.components = len(comps)
+	sum.events = events
+	return &sum, nil
+}
+
+// checkID validates a 16-lowercase-hex-digit span/trace ID. Parent may be
+// empty (epoch roots and the dump header carry none).
+func checkID(field, v string, optional bool) error {
+	if v == "" {
+		if optional {
+			return nil
+		}
+		return fmt.Errorf("missing %s id", field)
+	}
+	if len(v) != 16 {
+		return fmt.Errorf("%s id %q is not 16 hex digits", field, v)
+	}
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("%s id %q is not lowercase hex", field, v)
+		}
+	}
+	return nil
+}
+
+func attrMap(attrs []trace.Attr) map[string]string {
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.K] = a.V
+	}
+	return m
+}

@@ -7,6 +7,7 @@ import (
 	"nwdeploy/internal/hashing"
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/parallel"
+	"nwdeploy/internal/trace"
 	"nwdeploy/internal/traffic"
 )
 
@@ -132,6 +133,12 @@ type Config struct {
 	// loop, and the registry is write-only, so reports are bit-identical
 	// with or without it (nil is the no-op default; see internal/obs).
 	Metrics *obs.Registry
+	// Trace, when live, receives one engine_run event per completed run
+	// with the report's aggregates. The event is emitted after lanes merge,
+	// at the top-level call only, so traced sharded runs stay bit-identical
+	// to serial ones (the zero Span is the no-op default; see
+	// internal/trace).
+	Trace trace.Span
 }
 
 // Report is the resource accounting of one engine run: the analogue of the
@@ -188,14 +195,20 @@ func Run(cfg Config, sessions []traffic.Session) Report {
 func runInternal(cfg Config, sessions []traffic.Session, onAnalyze func(int, traffic.Session)) Report {
 	sp := cfg.Metrics.StartSpan("bro.run_ns")
 	defer sp.End()
+	var rep Report
 	if w := parallel.Resolve(cfg.Workers, len(cfg.Modules)+1); w > 1 && onAnalyze == nil && len(cfg.Modules) > 0 {
-		return runSharded(cfg, sessions, w)
+		rep = runSharded(cfg, sessions, w)
+	} else {
+		e := newEngine(cfg, onAnalyze)
+		for si, s := range sessions {
+			e.processSession(si, s)
+		}
+		rep = e.finish()
 	}
-	e := newEngine(cfg, onAnalyze)
-	for si, s := range sessions {
-		e.processSession(si, s)
-	}
-	return e.finish()
+	cfg.Trace.Event(trace.EvEngineRun,
+		trace.Int("alerts", rep.Alerts), trace.Int("conns", rep.Conns),
+		trace.F64("cpu", rep.CPUUnits))
+	return rep
 }
 
 // newEngine builds a serial engine (owns every lane).

@@ -7,6 +7,7 @@ import (
 
 	"nwdeploy/internal/chaos"
 	"nwdeploy/internal/control"
+	"nwdeploy/internal/trace"
 	"nwdeploy/internal/traffic"
 )
 
@@ -92,6 +93,9 @@ type NodeAgent struct {
 	down        bool
 	staleEpochs int
 	tally       epochTally
+	// span is the agent's trace context for the current epoch (zero when
+	// untraced), set by the cluster at the top of each fetch phase.
+	span trace.Span
 }
 
 func newNodeAgent(node int, addr string, opts control.AgentOptions, retry RetryPolicy, grace int, jitterSeed int64, trace []traffic.Session) *NodeAgent {
@@ -141,23 +145,56 @@ func (a *NodeAgent) Usable() bool {
 // the agent's own fault stream, so the loop's outcome is a pure function
 // of (chaos seed, node id, prior history) regardless of scheduling.
 func (a *NodeAgent) syncWithRetry() {
+	if a.span.Live() {
+		// Attach the epoch's fetch context to the wire so the controller
+		// can count traced requests; the manifest that comes back carries
+		// the publish span this fetch stitches to.
+		a.agent.SetTrace(&control.WireTrace{Trace: a.span.TraceHex(), Span: a.span.SpanHex()})
+	}
 	for attempt := 1; attempt <= a.retry.MaxAttempts; attempt++ {
 		a.tally.attempts++
 		_, err := a.agent.SyncIfStale()
 		if err == nil {
 			a.tally.synced = true
 			a.staleEpochs = 0
+			attrs := []trace.Attr{trace.Int("attempt", attempt)}
+			if d := a.agent.Decider(); d != nil {
+				attrs = append(attrs, trace.Uint64("ctrl_epoch", d.Epoch()))
+				if wt := d.TraceContext(); wt != nil {
+					attrs = append(attrs, trace.Str("pub_span", wt.Span))
+				}
+			}
+			a.span.Event(trace.EvFetchOK, attrs...)
 			return
 		}
 		a.tally.failures++
+		timeout := false
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
 			a.tally.timeouts++
+			timeout = true
 		}
+		// Events classify the failure rather than carry err.Error(): error
+		// strings embed the controller's ephemeral port, which would break
+		// byte-identical dumps across runs.
 		if attempt < a.retry.MaxAttempts {
+			a.span.Event(trace.EvFetchRetry,
+				trace.Int("attempt", attempt), trace.Str("err", errClass(timeout)))
 			a.jitterN++
 			time.Sleep(a.retry.Backoff(attempt, a.jitter, a.jitterN))
+		} else {
+			a.span.Event(trace.EvFetchFail,
+				trace.Int("attempts", attempt), trace.Str("err", errClass(timeout)))
 		}
 	}
 	a.staleEpochs++
+}
+
+// errClass names a fetch failure for trace attributes in a
+// run-independent way.
+func errClass(timeout bool) string {
+	if timeout {
+		return "timeout"
+	}
+	return "error"
 }

@@ -8,6 +8,7 @@ import (
 	"nwdeploy/internal/chaos"
 	"nwdeploy/internal/control"
 	"nwdeploy/internal/topology"
+	"nwdeploy/internal/trace"
 	"nwdeploy/internal/traffic"
 )
 
@@ -37,4 +38,33 @@ func BenchmarkClusterConverge(b *testing.B) {
 			b.Fatalf("converged %d/%d agents", synced, topo.N())
 		}
 	}
+}
+
+// BenchmarkTraceOverhead measures a full fault-free epoch — publish,
+// fetch phase, data phase, coverage audit — with the tracer off and on.
+// The acceptance bar is <= 5% slowdown with tracing enabled; compare the
+// off/on sub-benchmark lines.
+func BenchmarkTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, tr *trace.Tracer) {
+		topo := topology.Internet2()
+		sessions := traffic.Generate(topo, traffic.Gravity(topo), traffic.GenConfig{Sessions: 800, Seed: 7})
+		c, err := New(Options{
+			Topo: topo, Modules: bro.StandardModules()[1:], Sessions: sessions,
+			Seed: 41, Probes: 500, Trace: tr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.BumpEpoch()
+			rep := c.RunEpoch(chaos.EpochFaults{})
+			if rep.SyncedAgents != topo.N() {
+				b.Fatalf("synced %d/%d agents", rep.SyncedAgents, topo.N())
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, trace.New(trace.Options{Seed: 41})) })
 }

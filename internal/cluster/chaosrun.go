@@ -9,6 +9,7 @@ import (
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/parallel"
 	"nwdeploy/internal/topology"
+	"nwdeploy/internal/trace"
 	"nwdeploy/internal/traffic"
 )
 
@@ -63,6 +64,11 @@ type ChaosConfig struct {
 	Workers int
 	// Metrics, when non-nil, receives the full runtime metric surface.
 	Metrics *obs.Registry
+	// Trace, when non-nil, records the run's causal event log (see
+	// Options.Trace); Watchdog, when non-nil, checks every epoch against
+	// its SLO (see Options.Watchdog). Both are write-only.
+	Trace    *trace.Tracer
+	Watchdog *trace.Watchdog
 }
 
 // ChaosReport is a full chaos run: the solved deployment's parameters and
@@ -140,6 +146,7 @@ func CoverageUnderChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		Redundancy: cfg.Redundancy, Seed: cfg.Seed, Faults: cfg.Faults,
 		Retry: cfg.Retry, Agent: cfg.Agent, StaleGrace: cfg.StaleGrace,
 		Workers: cfg.Workers, Probes: cfg.Probes, Metrics: cfg.Metrics,
+		Trace: cfg.Trace, Watchdog: cfg.Watchdog,
 	})
 	if err != nil {
 		return nil, err

@@ -27,6 +27,7 @@ import (
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/parallel"
 	"nwdeploy/internal/topology"
+	"nwdeploy/internal/trace"
 	"nwdeploy/internal/traffic"
 )
 
@@ -75,6 +76,16 @@ type Options struct {
 	// agent, and engine metrics of the wrapped layers. Write-only:
 	// reports are identical with or without it.
 	Metrics *obs.Registry
+	// Trace, when non-nil, receives the causal event log: epoch spans,
+	// per-agent fetch/crash/staleness events, engine runs, governor
+	// decisions, and coverage audits, with trace context propagated over
+	// the controller wire. Write-only like Metrics: reports are identical
+	// with or without it, and byte-identical across Workers values.
+	Trace *trace.Tracer
+	// Watchdog, when non-nil, evaluates every epoch against its SLO and
+	// records the breached rules in the epoch report (and, when Trace is
+	// live, as slo_violation events). Nil disables SLO checking.
+	Watchdog *trace.Watchdog
 }
 
 // EpochReport is one epoch's outcome: the control-plane weather, what the
@@ -108,6 +119,11 @@ type EpochReport struct {
 	// surviving agent holds a current manifest the two match exactly).
 	WorstCoverage, AvgCoverage   float64
 	PredictedWorst, PredictedAvg float64
+	// SLOViolations are the watchdog rules this epoch breached, rendered
+	// "rule=value (bound b)" in fixed rule order; empty without a
+	// configured watchdog. Watchdog verdicts are a pure function of the
+	// report's other fields, so they too are seed-deterministic.
+	SLOViolations []string
 }
 
 // Cluster is a running deployment: controller, gate, and agents.
@@ -119,6 +135,9 @@ type Cluster struct {
 	gate   *chaos.Gate
 	agents []*NodeAgent
 	epoch  int
+	// epochSpan is the current epoch's root trace span (zero when
+	// untraced); agents derive their per-epoch child spans from it.
+	epochSpan trace.Span
 
 	fetchAttemptC, fetchRetryC, fetchFailureC, fetchTimeoutC, epochC *obs.Counter
 	staleG, darkG, covWorstG, covAvgG                                *obs.Gauge
@@ -170,7 +189,9 @@ func New(opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctrl.UpdatePlan(plan)
+	// The initial publish runs under the setup trace (epoch 0), so the
+	// first manifests agents fetch already carry wire context.
+	publishTraced(opts.Trace, ctrl, 0, plan)
 
 	c := &Cluster{
 		opts: opts, inst: inst, plan: plan, ctrl: ctrl, gate: gate,
@@ -220,6 +241,21 @@ func nodeTrace(paths [][][]int, sessions []traffic.Session, j int) []traffic.Ses
 	return out
 }
 
+// publishTraced installs a plan as a new configuration generation,
+// recording a publish event on the controller component of the given
+// epoch's trace and stamping the publish span on served manifests — the
+// wire half of the epoch stitch. With a nil tracer it degrades to a plain
+// UpdatePlan.
+func publishTraced(t *trace.Tracer, ctrl *control.Controller, epoch int, plan *core.Plan) {
+	pub := t.Epoch(epoch).Child("controller", -1)
+	if pub.Live() {
+		pub.Event(trace.EvPublish, trace.F64("objective", plan.Objective),
+			trace.Uint64("ctrl_epoch", ctrl.Epoch()+1))
+		ctrl.SetTrace(&control.WireTrace{Trace: pub.TraceHex(), Span: pub.SpanHex()})
+	}
+	ctrl.UpdatePlan(plan)
+}
+
 // Close shuts the controller (and its gate/listener) down.
 func (c *Cluster) Close() error { return c.ctrl.Close() }
 
@@ -235,7 +271,11 @@ func (c *Cluster) Agents() []*NodeAgent { return c.agents }
 // BumpEpoch re-stamps the current plan as a new configuration generation —
 // the operations center's periodic re-optimization round (the workload is
 // unchanged here, so the plan content is too, but agents must re-fetch).
-func (c *Cluster) BumpEpoch() { c.ctrl.UpdatePlan(c.plan) }
+// The publish is recorded under the trace of the epoch about to run, so
+// the fetches it triggers stitch to it.
+func (c *Cluster) BumpEpoch() {
+	publishTraced(c.opts.Trace, c.ctrl, c.epoch+1, c.plan)
+}
 
 // Converge runs one fault-free fetch phase (all agents up, gate forced
 // open) and reports how many agents hold a current manifest afterwards —
@@ -260,6 +300,10 @@ func (c *Cluster) fetchPhase() {
 	parallel.ForEach(parallel.Resolve(c.opts.Workers, n), n, func(j int) {
 		a := c.agents[j]
 		a.tally = epochTally{}
+		// The agent's per-epoch span is a pure function of the epoch root
+		// and the node id, so deriving it inside the worker is
+		// deterministic; each agent emits only into its own component.
+		a.span = c.epochSpan.Child("agent", j)
 		if a.down {
 			return
 		}
@@ -275,6 +319,9 @@ func (c *Cluster) fetchPhase() {
 func (c *Cluster) RunEpoch(f chaos.EpochFaults) EpochReport {
 	c.epoch++
 	c.epochC.Add(1)
+	c.epochSpan = c.opts.Trace.Epoch(c.epoch)
+	c.epochSpan.Event(trace.EvEpochStart,
+		trace.Int("ctrl_down", boolToInt(f.ControllerDown)), trace.Int("down", len(f.DownNodes)))
 	c.gate.SetOpen(!f.ControllerDown)
 	for j, a := range c.agents {
 		wasDown := a.down
@@ -283,6 +330,7 @@ func (c *Cluster) RunEpoch(f chaos.EpochFaults) EpochReport {
 			// Crash: the process dies with its in-memory manifest.
 			a.restart()
 			a.staleEpochs = 0
+			c.epochSpan.Child("agent", j).Event(trace.EvCrashRestart)
 		}
 	}
 
@@ -310,8 +358,10 @@ func (c *Cluster) RunEpoch(f chaos.EpochFaults) EpochReport {
 			rep.SyncedAgents++
 		case a.Usable():
 			rep.StaleAgents++
+			a.span.Event(trace.EvStaleGrace, trace.Int("stale", a.staleEpochs))
 		default:
 			rep.DarkAgents++
+			a.span.Event(trace.EvWentDark, trace.Int("stale", a.staleEpochs))
 		}
 		if a.Usable() {
 			d := a.Decider()
@@ -329,7 +379,30 @@ func (c *Cluster) RunEpoch(f chaos.EpochFaults) EpochReport {
 
 	c.dataPhase(&rep)
 	c.audit(&rep, f)
+	c.checkSLO(&rep, trace.EpochStats{
+		WorstCoverage: rep.WorstCoverage, AvgCoverage: rep.AvgCoverage,
+		FetchFailures: rep.FetchFailures, DarkAgents: rep.DarkAgents,
+	})
 	return rep
+}
+
+// checkSLO runs the configured watchdog over one epoch's stats, records
+// the breached rules in the report, and triggers the post-mortem dump on
+// the first breach.
+func (c *Cluster) checkSLO(rep *EpochReport, s trace.EpochStats) {
+	for _, v := range c.opts.Watchdog.Check(c.epochSpan, s) {
+		rep.SLOViolations = append(rep.SLOViolations, v.String())
+	}
+	if len(rep.SLOViolations) > 0 {
+		c.opts.Trace.DumpOnce("slo_violation")
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // dataPhase runs each usable agent's engine over its trace, exactly as a
@@ -355,6 +428,7 @@ func (c *Cluster) dataPhase(rep *EpochReport) {
 			Hasher:  hashing.Hasher{Key: c.opts.HashKey},
 			Workers: engineWorkers,
 			Metrics: c.opts.Metrics,
+			Trace:   a.span,
 		}, a.trace)
 	})
 	for _, r := range reports {
@@ -397,4 +471,15 @@ func (c *Cluster) audit(rep *EpochReport, f chaos.EpochFaults) {
 	})
 	c.covWorstG.Set(rep.WorstCoverage)
 	c.covAvgG.Set(rep.AvgCoverage)
+	c.epochSpan.Event(trace.EvCoverage,
+		trace.F64("worst", rep.WorstCoverage), trace.F64("avg", rep.AvgCoverage),
+		trace.F64("pred_worst", rep.PredictedWorst))
+	if rep.WorstCoverage < rep.PredictedWorst-1e-9 {
+		// Achieved coverage fell below the static prediction for the same
+		// failure set — the chaos-audit violation the flight recorder
+		// exists for.
+		c.epochSpan.Event(trace.EvCoverageViolation,
+			trace.F64("worst", rep.WorstCoverage), trace.F64("pred_worst", rep.PredictedWorst))
+		c.opts.Trace.DumpOnce("coverage_violation")
+	}
 }

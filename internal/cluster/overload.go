@@ -13,6 +13,7 @@ import (
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/parallel"
 	"nwdeploy/internal/topology"
+	"nwdeploy/internal/trace"
 	"nwdeploy/internal/traffic"
 )
 
@@ -69,6 +70,12 @@ type OverloadConfig struct {
 	Workers int
 	// Metrics, when non-nil, receives the full runtime metric surface.
 	Metrics *obs.Registry
+	// Trace, when non-nil, records the run's causal event log — the
+	// burst → overrun → shed → replan chain, epoch by epoch (see
+	// Options.Trace); Watchdog, when non-nil, checks every epoch against
+	// its SLO (see Options.Watchdog). Both are write-only.
+	Trace    *trace.Tracer
+	Watchdog *trace.Watchdog
 }
 
 // OverloadEpoch is one epoch's outcome under overload.
@@ -108,6 +115,9 @@ type OverloadEpoch struct {
 	WorstCoverage, AvgCoverage   float64
 	ShedFloorWorst, ShedFloorAvg float64
 	SyncedAgents                 int
+	// SLOViolations are the watchdog rules this epoch breached (see
+	// EpochReport.SLOViolations).
+	SLOViolations []string
 }
 
 // OverloadReport is a full overload run.
@@ -239,6 +249,7 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 		Topo: cfg.Topo, Modules: cfg.Modules, Sessions: sessions,
 		Redundancy: cfg.Redundancy, Seed: cfg.Seed,
 		Workers: cfg.Workers, Probes: cfg.Probes, Metrics: cfg.Metrics,
+		Trace: cfg.Trace, Watchdog: cfg.Watchdog,
 		CaptureBasis: cfg.Replan && cfg.WarmReplan,
 	})
 	if err != nil {
@@ -302,6 +313,10 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 
 	for e := 0; e < cfg.Epochs; e++ {
 		ep := OverloadEpoch{Epoch: e + 1}
+		c.epoch = e + 1
+		c.epochSpan = cfg.Trace.Epoch(ep.Epoch)
+		c.epochSpan.Event(trace.EvEpochStart)
+		ctrlSpan := c.epochSpan.Child("controller", -1)
 
 		// Offered volumes this epoch, scaled off the original workload.
 		sc := scales.scale(e)
@@ -315,6 +330,8 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 		// Drift detection over the smoothed observations.
 		ep.MaxRelErr = detector.Observe(obsPkts)
 		ep.Drifted = detector.Drifted()
+		c.epochSpan.Event(trace.EvDrift,
+			trace.F64("rel_err", ep.MaxRelErr), trace.Int("drifted", boolToInt(ep.Drifted)))
 
 		// Replan on sustained drift: re-solve on the smoothed volumes with
 		// the deadline; push fresh manifests on success, fall back to the
@@ -344,7 +361,9 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 			switch {
 			case err == nil:
 				c.plan, c.inst = plan2, inst2
-				c.ctrl.UpdatePlan(plan2) // clears published shed, bumps epoch
+				// clears published shed, bumps epoch, stamps this epoch's
+				// publish span on served manifests
+				publishTraced(cfg.Trace, c.ctrl, ep.Epoch, plan2)
 				lastBasis = plan2.Basis
 				detector.Rebase(smPkts)
 				if err := buildGovernors(); err != nil {
@@ -358,13 +377,17 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 				cfg.Metrics.Add("overload.replans", 1)
 				if ep.ReplanWarm {
 					cfg.Metrics.Add("overload.replan_iters_warm", int64(plan2.SolverIters))
+					c.epochSpan.Event(trace.EvReplanWarm, trace.Int("iters", ep.ReplanIters))
 				} else {
 					cfg.Metrics.Add("overload.replan_iters_cold", int64(plan2.SolverIters))
+					c.epochSpan.Event(trace.EvReplanCold, trace.Int("iters", ep.ReplanIters))
 				}
 			case errors.Is(err, lp.ErrIterLimit):
 				ep.ReplanMissed = true
 				rep.MissedReplans++
 				cfg.Metrics.Add("overload.replan_misses", 1)
+				c.epochSpan.Event(trace.EvDeadlineMiss, trace.Int("max_iters", cfg.ReplanMaxIters))
+				cfg.Trace.DumpOnce("deadline_miss")
 			default:
 				return nil, fmt.Errorf("cluster: replan: %w", err)
 			}
@@ -382,7 +405,13 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 				scVsPlan[ui] = 1
 			}
 		}
+		if ctrlSpan.Live() {
+			// Shed publishes below serve manifests under this epoch's
+			// controller span, so re-fetching agents stitch to it.
+			c.ctrl.SetTrace(&control.WireTrace{Trace: ctrlSpan.TraceHex(), Span: ctrlSpan.SpanHex()})
+		}
 		for j, g := range govs {
+			g.AttachSpan(c.epochSpan.Child("governor", j))
 			grep, err := g.PlanEpoch(scVsPlan)
 			if err != nil {
 				return nil, err
@@ -393,8 +422,16 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 				ep.ShedWidth += grep.ShedWidth
 				if !grep.Satisfied {
 					ep.Unsatisfied++
+					// Floor breach: the r=1 coverage floor is all that is
+					// left and the node still projects hot.
+					cfg.Trace.DumpOnce("floor_breach")
 				}
-				c.ctrl.PublishShed(j, control.ShedFromRanges(c.plan, g.ShedRanges()))
+				wa := control.ShedFromRanges(c.plan, g.ShedRanges())
+				if len(wa) > 0 {
+					ctrlSpan.Event(trace.EvShedPublish,
+						trace.Int("node", j), trace.F64("width", grep.ShedWidth))
+				}
+				c.ctrl.PublishShed(j, wa)
 			} else {
 				// Ungoverned baseline: the node runs hot at the raw
 				// projection; nothing is shed or published.
@@ -412,9 +449,13 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 		// Push manifests through the normal epoch protocol and audit what
 		// the wire actually delivers.
 		c.fetchPhase()
+		darkAgents := 0
 		for _, a := range c.agents {
 			if a.tally.synced {
 				ep.SyncedAgents++
+			}
+			if !a.Usable() {
+				darkAgents++
 			}
 		}
 		units := c.inst.Units
@@ -432,6 +473,26 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 			ep.ShedFloorWorst, ep.ShedFloorAvg = governor.Coverage(c.plan, govs, probes)
 		} else {
 			ep.ShedFloorWorst, ep.ShedFloorAvg = 1, 1
+		}
+		c.epochSpan.Event(trace.EvCoverage,
+			trace.F64("worst", ep.WorstCoverage), trace.F64("avg", ep.AvgCoverage),
+			trace.F64("shed_floor_worst", ep.ShedFloorWorst))
+		if ep.WorstCoverage < ep.ShedFloorWorst-1e-9 {
+			// The wire delivered less than the governors' own degradation
+			// floor predicts — manifests and shed state disagree.
+			c.epochSpan.Event(trace.EvCoverageViolation,
+				trace.F64("worst", ep.WorstCoverage), trace.F64("floor", ep.ShedFloorWorst))
+			cfg.Trace.DumpOnce("coverage_violation")
+		}
+		for _, v := range cfg.Watchdog.Check(c.epochSpan, trace.EpochStats{
+			WorstCoverage: ep.WorstCoverage, AvgCoverage: ep.AvgCoverage,
+			ShedWidth: ep.ShedWidth, ReplanIters: ep.ReplanIters,
+			DarkAgents: darkAgents, DeadlineMiss: ep.ReplanMissed,
+		}) {
+			ep.SLOViolations = append(ep.SLOViolations, v.String())
+		}
+		if len(ep.SLOViolations) > 0 {
+			cfg.Trace.DumpOnce("slo_violation")
 		}
 
 		if ep.WorstCoverage < rep.WorstCoverage {

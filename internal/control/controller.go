@@ -23,6 +23,9 @@ import (
 type request struct {
 	Op   string `json:"op"`   // "epoch" | "manifest"
 	Node int    `json:"node"` // for "manifest"
+	// Trace is the caller's trace context (nil when untraced); omitempty
+	// keeps the base request encoding stable for pre-trace controllers.
+	Trace *WireTrace `json:"trace,omitempty"`
 }
 
 // response is the controller->agent message.
@@ -64,6 +67,7 @@ type Controller struct {
 	plan  *core.Plan
 	epoch uint64
 	shed  map[int][]WireAssignment // per-node governor shed state
+	trace *WireTrace               // context stamped on served manifests
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -71,8 +75,8 @@ type Controller struct {
 
 	// Metric handles resolved at construction; nil-safe no-ops when no
 	// registry was configured.
-	epochReqC, manifestReqC, badReqC, manifestErrC, planUpdateC, shedUpdateC *obs.Counter
-	epochG                                                                   *obs.Gauge
+	epochReqC, manifestReqC, badReqC, manifestErrC, planUpdateC, shedUpdateC, tracedReqC *obs.Counter
+	epochG                                                                               *obs.Gauge
 }
 
 // NewController starts a controller listening on addr (e.g.
@@ -102,6 +106,7 @@ func NewControllerOpts(addr string, opts ControllerOptions) (*Controller, error)
 		manifestErrC: opts.Metrics.Counter("control.manifest_errors"),
 		planUpdateC:  opts.Metrics.Counter("control.plan_updates"),
 		shedUpdateC:  opts.Metrics.Counter("control.shed_updates"),
+		tracedReqC:   opts.Metrics.Counter("control.requests_traced"),
 		epochG:       opts.Metrics.Gauge("control.epoch"),
 	}
 	c.wg.Add(1)
@@ -131,6 +136,17 @@ func (c *Controller) UpdatePlan(plan *core.Plan) {
 	c.epoch++
 	c.planUpdateC.Add(1)
 	c.epochG.Set(float64(c.epoch))
+}
+
+// SetTrace installs the trace context stamped on every manifest served
+// from now on — callers set it just before UpdatePlan or PublishShed so
+// the served generation carries the span of the publish that created it.
+// Nil clears it. Serving stays deterministic: the context changes only
+// when the (serial) epoch loop publishes, never per-request.
+func (c *Controller) SetTrace(wt *WireTrace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.trace = wt
 }
 
 // PublishShed records a node's governor shed state and bumps the epoch so
@@ -218,8 +234,12 @@ func (c *Controller) serve(conn net.Conn) {
 	c.mu.RLock()
 	plan, epoch := c.plan, c.epoch
 	shed := c.shed[req.Node]
+	wt := c.trace
 	c.mu.RUnlock()
 
+	if req.Trace != nil {
+		c.tracedReqC.Add(1)
+	}
 	switch req.Op {
 	case "epoch":
 		c.epochReqC.Add(1)
@@ -238,6 +258,7 @@ func (c *Controller) serve(conn net.Conn) {
 			return
 		}
 		m.Shed = shed
+		m.Trace = wt
 		_ = enc.Encode(response{Epoch: epoch, Manifest: m})
 	default:
 		c.badReqC.Add(1)
@@ -273,6 +294,7 @@ type Agent struct {
 
 	mu      sync.RWMutex
 	decider *Decider
+	trace   *WireTrace // context attached to outgoing requests
 
 	reqC, errC, timeoutC *obs.Counter
 }
@@ -304,8 +326,20 @@ func NewAgentOpts(addr string, node int, opts AgentOptions) *Agent {
 	}
 }
 
+// SetTrace installs the trace context attached to the agent's subsequent
+// requests — the node's fetch span, set per epoch by the cluster runtime.
+// Nil clears it; untraced agents send the pre-trace request encoding.
+func (a *Agent) SetTrace(wt *WireTrace) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.trace = wt
+}
+
 // roundTrip sends one request and decodes one response.
 func (a *Agent) roundTrip(req request) (*response, error) {
+	a.mu.RLock()
+	req.Trace = a.trace
+	a.mu.RUnlock()
 	a.reqC.Add(1)
 	resp, err := a.exchange(req)
 	if err != nil {

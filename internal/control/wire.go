@@ -18,6 +18,18 @@ import (
 	"nwdeploy/internal/traffic"
 )
 
+// WireTrace is the optional trace-context header carried on manifests and
+// requests: the (trace, span) IDs — 16 hex digits each, as rendered by
+// trace.Span — of the control-plane action that produced the message. It
+// is what stitches a controller publish to every agent's fetch of the
+// resulting manifest. Pointer-valued with omitempty everywhere it
+// appears, so untraced deployments keep the pre-trace wire encoding
+// byte-for-byte and old peers that have never heard of it interoperate.
+type WireTrace struct {
+	Trace string `json:"trace"`
+	Span  string `json:"span"`
+}
+
 // WireRange is one half-open hash range on the wire.
 type WireRange struct {
 	Lo float64 `json:"lo"`
@@ -55,6 +67,9 @@ type Manifest struct {
 	// exactly the responsibility that was dropped. Empty in steady state
 	// (and omitted from the wire form, keeping the base encoding stable).
 	Shed []WireAssignment `json:"shed,omitempty"`
+	// Trace is the context of the publish that produced this manifest
+	// generation; nil when the controller runs untraced.
+	Trace *WireTrace `json:"trace,omitempty"`
 }
 
 // ShedFromRanges converts a governor's unit-indexed shed state into wire
@@ -160,6 +175,12 @@ func NewDecider(m *Manifest) *Decider {
 	}
 	return d
 }
+
+// TraceContext returns the trace context of the publish that produced the
+// manifest this decider enforces, or nil when the controller ran
+// untraced. Agents attach it to their fetch events, which is how one
+// epoch's trace crosses the wire.
+func (d *Decider) TraceContext() *WireTrace { return d.manifest.Trace }
 
 // ShedWidth returns the total hash-space width the manifest's shed section
 // removed from this node's assignment — the audit-side measure of how much

@@ -50,3 +50,66 @@ func TestManifestWireFormatGolden(t *testing.T) {
 		t.Fatalf("round trip mismatch:\n got: %+v\nwant: %+v", &back, m)
 	}
 }
+
+// TestManifestWireFormatGoldenWithTrace pins the encoding of the optional
+// trace-context header: present, it appends one "trace" object after
+// "shed"; absent (the case above), the base encoding is untouched.
+func TestManifestWireFormatGoldenWithTrace(t *testing.T) {
+	m := &Manifest{
+		Node:    1,
+		Epoch:   4,
+		HashKey: 7,
+		Classes: []WireClass{{Name: "signature"}},
+		Assignments: []WireAssignment{
+			{Class: 0, Unit: [2]int{0, -1}, Ranges: []WireRange{{Lo: 0, Hi: 1}}},
+		},
+		Shed: []WireAssignment{
+			{Class: 0, Unit: [2]int{0, -1}, Ranges: []WireRange{{Lo: 0.5, Hi: 1}}},
+		},
+		Trace: &WireTrace{Trace: "00000000deadbeef", Span: "00000000cafef00d"},
+	}
+
+	const golden = `{"node":1,"epoch":4,"hash_key":7,` +
+		`"classes":[{"name":"signature","scope":0,"agg":0}],` +
+		`"assignments":[{"class":0,"unit":[0,-1],"ranges":[{"lo":0,"hi":1}]}],` +
+		`"shed":[{"class":0,"unit":[0,-1],"ranges":[{"lo":0.5,"hi":1}]}],` +
+		`"trace":{"trace":"00000000deadbeef","span":"00000000cafef00d"}}`
+
+	got, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != golden {
+		t.Fatalf("wire format drifted:\n got: %s\nwant: %s", got, golden)
+	}
+	var back Manifest
+	if err := json.Unmarshal([]byte(golden), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, m) {
+		t.Fatalf("round trip mismatch:\n got: %+v\nwant: %+v", &back, m)
+	}
+}
+
+// TestManifestDecodesWithoutTraceField pins backward compatibility: wire
+// bytes produced by pre-trace controllers (no "trace" key at all) decode
+// into a manifest whose Trace is nil, and the decider built from it
+// reports no trace context.
+func TestManifestDecodesWithoutTraceField(t *testing.T) {
+	const old = `{"node":2,"epoch":9,"hash_key":1,` +
+		`"classes":[{"name":"signature","scope":0,"agg":0}],` +
+		`"assignments":[{"class":0,"unit":[1,-1],"ranges":[{"lo":0,"hi":0.5}]}]}`
+	var m Manifest
+	if err := json.Unmarshal([]byte(old), &m); err != nil {
+		t.Fatalf("pre-trace manifest failed to decode: %v", err)
+	}
+	if m.Trace != nil {
+		t.Fatalf("pre-trace manifest decoded with trace context: %+v", m.Trace)
+	}
+	if d := NewDecider(&m); d.TraceContext() != nil {
+		t.Fatal("decider invented a trace context")
+	}
+	if m.Node != 2 || m.Epoch != 9 || len(m.Assignments) != 1 {
+		t.Fatalf("pre-trace manifest fields lost: %+v", m)
+	}
+}

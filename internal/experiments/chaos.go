@@ -49,6 +49,7 @@ func Chaos(cfg Config) ([]ChaosRow, error) {
 		Agent:   control.AgentOptions{DialTimeout: 200 * time.Millisecond, RPCTimeout: 200 * time.Millisecond},
 		Workers: cfg.Workers,
 		Metrics: cfg.Metrics,
+		Trace:   cfg.Trace,
 	}
 
 	scenarios := []struct {

@@ -21,6 +21,7 @@ import (
 	"nwdeploy/internal/online"
 	"nwdeploy/internal/parallel"
 	"nwdeploy/internal/topology"
+	"nwdeploy/internal/trace"
 	"nwdeploy/internal/traffic"
 )
 
@@ -39,6 +40,12 @@ type Config struct {
 	// Rows are byte-identical with or without it (nil is the no-op
 	// default; see internal/obs).
 	Metrics *obs.Registry
+	// Trace, when non-nil, records the chaos and overload runners' causal
+	// event logs (nil is the no-op default; see internal/trace). Because
+	// the suite's runners share one tracer, callers that set it must run
+	// the experiment blocks serially to keep component sequences — and so
+	// dumps — deterministic.
+	Trace *trace.Tracer
 }
 
 func (c Config) sessions(full int) int {

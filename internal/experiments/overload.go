@@ -47,7 +47,7 @@ func Overload(cfg Config) ([]OverloadRow, error) {
 		Sessions: sessions, Epochs: epochs, Seed: 29,
 		BurstProb: 0.5, BaseJitter: 0.05,
 		Probes:  500,
-		Workers: cfg.Workers, Metrics: cfg.Metrics,
+		Workers: cfg.Workers, Metrics: cfg.Metrics, Trace: cfg.Trace,
 	}
 
 	scenarios := []struct {

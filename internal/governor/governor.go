@@ -26,6 +26,7 @@ import (
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/hashing"
 	"nwdeploy/internal/obs"
+	"nwdeploy/internal/trace"
 	"nwdeploy/internal/traffic"
 )
 
@@ -123,6 +124,8 @@ type Governor struct {
 
 	shed      map[int]hashing.RangeSet // unit -> ranges this node dropped
 	shedWidth float64
+
+	span trace.Span // per-epoch trace context (zero = untraced)
 }
 
 // New builds the governor for one node of a solved plan. The hasher must
@@ -191,6 +194,13 @@ func New(plan *core.Plan, node int, h hashing.Hasher, cfg Config) (*Governor, er
 // Node returns the governed node's ID.
 func (g *Governor) Node() int { return g.node }
 
+// AttachSpan installs the trace context the next PlanEpoch records its
+// decision events (overrun, shed_planned, shed_restore, floor_limited)
+// under — set per epoch by the cluster runtime. The zero Span (the
+// default) records nothing; the governed behavior is identical either
+// way.
+func (g *Governor) AttachSpan(sp trace.Span) { g.span = sp }
+
 // Budget returns the node's planned CPU and memory load fractions — the
 // LP's prediction at plan volumes.
 func (g *Governor) Budget() (cpu, mem float64) { return g.budgetCPU, g.budgetMem }
@@ -224,6 +234,7 @@ func (g *Governor) PlanEpoch(scale []float64) (Report, error) {
 		// Fits again: restore everything.
 		if g.shedWidth > 0 {
 			g.cfg.Metrics.Add("governor.restores", 1)
+			g.span.Event(trace.EvShedRestore, trace.F64("width", g.shedWidth))
 		}
 		g.over = 0
 		g.shed = nil
@@ -236,6 +247,8 @@ func (g *Governor) PlanEpoch(scale []float64) (Report, error) {
 
 	g.over++
 	g.cfg.Metrics.Add("governor.overloads", 1)
+	g.span.Event(trace.EvOverrun,
+		trace.F64("projected_cpu", rep.ProjectedCPU), trace.F64("budget_cpu", rep.BudgetCPU))
 	if g.over < g.cfg.Sustain {
 		// Debounced: tolerate the overrun, keep the previous shed state.
 		rep.CPUAfter, rep.MemAfter = g.applyShed(rep.ProjectedCPU, rep.ProjectedMem, sc)
@@ -285,6 +298,13 @@ func (g *Governor) PlanEpoch(scale []float64) (Report, error) {
 	rep.ShedWidth = g.shedWidth
 	rep.Satisfied = cpu <= limCPU && mem <= limMem
 	g.cfg.Metrics.Add("governor.sheds", 1)
+	g.span.Event(trace.EvShedPlanned,
+		trace.F64("width", rep.ShedWidth), trace.Int("slices", len(rep.Shed)))
+	if !rep.Satisfied {
+		// Everything above the coverage floor is gone and the node still
+		// projects over budget: it runs hot by design rather than break r=1.
+		g.span.Event(trace.EvFloorLimited, trace.F64("cpu_after", rep.CPUAfter))
+	}
 	g.publish(rep)
 	return rep, nil
 }

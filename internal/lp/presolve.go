@@ -55,14 +55,20 @@ func presolve(p *Problem) *presolveResult {
 	}
 	rows := make([]row, len(p.cons))
 	for r, c := range p.cons {
-		// Merge duplicate terms up front.
+		// Merge duplicate terms up front, keeping first-occurrence order:
+		// term order decides downstream summation order, so iterating the
+		// map here would make the optimum's last ULP vary run to run.
 		sum := map[Var]float64{}
+		order := make([]Var, 0, len(c.terms))
 		for _, t := range c.terms {
+			if _, seen := sum[t.Var]; !seen {
+				order = append(order, t.Var)
+			}
 			sum[t.Var] += t.Coef
 		}
 		var terms []Term
-		for v, coef := range sum {
-			if coef != 0 {
+		for _, v := range order {
+			if coef := sum[v]; coef != 0 {
 				terms = append(terms, Term{v, coef})
 			}
 		}

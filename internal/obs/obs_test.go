@@ -173,3 +173,69 @@ func TestPublishIdempotent(t *testing.T) {
 	r2 := New()
 	r2.Publish("obs_test_metrics") // same name, different registry: first wins, no panic
 }
+
+// TestSnapshotOrderIndependentOfRegistration builds the same metric state
+// through two interleaved registration orders and asserts both the text
+// and JSON renderings are byte-identical: snapshot output must be a
+// function of the metric state alone, never of the order handles were
+// created in.
+func TestSnapshotOrderIndependentOfRegistration(t *testing.T) {
+	fill := func(order []int) *Registry {
+		r := New()
+		ops := []func(){
+			func() { r.Add("solver.iters", 12) },
+			func() { r.Set("cluster.coverage", 0.97) },
+			func() { r.Observe("fetch_ns", 1500) },
+			func() { r.Add("agent.fetches", 3) },
+			func() { r.Set("governor.shed_width", 0.25) },
+			func() { r.Observe("solve_ns", 900) },
+		}
+		for _, i := range order {
+			ops[i]()
+		}
+		return r
+	}
+	a := fill([]int{0, 1, 2, 3, 4, 5})
+	b := fill([]int{5, 3, 1, 4, 2, 0})
+
+	var ta, tb, ja, jb bytes.Buffer
+	if err := a.Snapshot().WriteText(&ta); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot().WriteText(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if ta.String() != tb.String() {
+		t.Fatalf("text snapshots differ across registration orders:\n%s\n---\n%s", ta.String(), tb.String())
+	}
+	if err := a.Snapshot().WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot().WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if ja.String() != jb.String() {
+		t.Fatalf("JSON snapshots differ across registration orders:\n%s\n---\n%s", ja.String(), jb.String())
+	}
+
+	// Output order is by section (counters, gauges, histograms), sorted by
+	// name within each, with histogram sub-lines grouped.
+	wantOrder := []string{
+		"agent.fetches 3", "solver.iters 12",
+		"cluster.coverage 0.97", "governor.shed_width 0.25",
+		"fetch_ns.count 1", "fetch_ns.sum 1500", "fetch_ns.mean",
+		"solve_ns.count 1",
+	}
+	text := ta.String()
+	last := -1
+	for _, want := range wantOrder {
+		i := strings.Index(text, want)
+		if i < 0 {
+			t.Fatalf("text snapshot missing %q:\n%s", want, text)
+		}
+		if i < last {
+			t.Fatalf("text snapshot out of order at %q:\n%s", want, text)
+		}
+		last = i
+	}
+}

@@ -9,17 +9,20 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/ on DefaultServeMux
 
 	"nwdeploy/internal/obs"
+	"nwdeploy/internal/trace"
 )
 
 // Serve blocks serving debug endpoints on addr:
 //
 //	/metrics     the registry's text snapshot (one "name value" per line)
 //	/metrics.json  the registry's JSON snapshot
+//	/trace       the flight recorder's current rings as a JSONL dump
 //	/debug/pprof/  the stdlib profiler
 //	/debug/vars    expvar (includes the registry if Publish was called)
 //
-// Callers run it in a goroutine; r may be nil (empty snapshots).
-func Serve(addr string, r *obs.Registry) error {
+// Callers run it in a goroutine; r and t may be nil (empty snapshots, and
+// an empty /trace body).
+func Serve(addr string, r *obs.Registry, t *trace.Tracer) error {
 	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = r.Snapshot().WriteText(w)
@@ -27,6 +30,10 @@ func Serve(addr string, r *obs.Registry) error {
 	http.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.Snapshot().WriteJSON(w)
+	})
+	http.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = t.Dump(w, "http")
 	})
 	return http.ListenAndServe(addr, nil)
 }

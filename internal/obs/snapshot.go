@@ -84,18 +84,34 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
-// WriteText writes the snapshot as sorted "name value" lines, one metric
-// per line — a grep-friendly alternative to the JSON form. Histograms
-// render as name.count, name.sum, and name.mean lines.
+// sortedKeys returns m's keys in ascending name order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteText writes the snapshot as "name value" lines, one metric per
+// line — a grep-friendly alternative to the JSON form. Output order is a
+// function of the metric names alone: counters, then gauges, then
+// histograms, each section in sorted name order, with each histogram's
+// .count/.sum/.mean lines kept together. (Sorting rendered lines instead
+// would let values and cross-section prefix collisions decide ordering,
+// so two registries with the same metric names could interleave
+// differently.)
 func (s Snapshot) WriteText(w io.Writer) error {
 	var lines []string
-	for name, v := range s.Counters {
-		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	for _, name := range sortedKeys(s.Counters) {
+		lines = append(lines, fmt.Sprintf("%s %d", name, s.Counters[name]))
 	}
-	for name, v := range s.Gauges {
-		lines = append(lines, fmt.Sprintf("%s %g", name, v))
+	for _, name := range sortedKeys(s.Gauges) {
+		lines = append(lines, fmt.Sprintf("%s %g", name, s.Gauges[name]))
 	}
-	for name, h := range s.Histograms {
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
 		lines = append(lines, fmt.Sprintf("%s.count %d", name, h.Count))
 		lines = append(lines, fmt.Sprintf("%s.sum %d", name, h.Sum))
 		mean := 0.0
@@ -104,7 +120,6 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		}
 		lines = append(lines, fmt.Sprintf("%s.mean %.3f", name, mean))
 	}
-	sort.Strings(lines)
 	for _, l := range lines {
 		if _, err := fmt.Fprintln(w, l); err != nil {
 			return err

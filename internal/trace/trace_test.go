@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Epoch(3)
+	if sp.Live() {
+		t.Fatal("nil tracer produced a live span")
+	}
+	sp.Event(EvEpochStart, Int("x", 1))
+	child := sp.Child("agent", 0)
+	if child.Live() {
+		t.Fatal("zero span produced a live child")
+	}
+	child.Event(EvFetchOK)
+	if got := tr.Events(); got != nil {
+		t.Fatalf("nil tracer Events() = %v, want nil", got)
+	}
+	if e, d := tr.Stats(); e != 0 || d != 0 {
+		t.Fatalf("nil tracer Stats() = %d,%d", e, d)
+	}
+	if err := tr.Dump(&bytes.Buffer{}, "x"); err != nil {
+		t.Fatalf("nil tracer Dump: %v", err)
+	}
+	tr.SetSink(&bytes.Buffer{})
+	if tr.DumpOnce("x") {
+		t.Fatal("nil tracer DumpOnce reported a dump")
+	}
+	if sp.TraceHex() != "" || sp.SpanHex() != "" {
+		t.Fatal("zero span rendered non-empty hex IDs")
+	}
+}
+
+func TestIDsAreSeedDeterministic(t *testing.T) {
+	a, b := New(Options{Seed: 42}), New(Options{Seed: 42})
+	sa, sb := a.Epoch(5).Child("agent", 2), b.Epoch(5).Child("agent", 2)
+	if sa.TraceHex() != sb.TraceHex() || sa.SpanHex() != sb.SpanHex() {
+		t.Fatalf("same-seed IDs differ: %s/%s vs %s/%s",
+			sa.TraceHex(), sa.SpanHex(), sb.TraceHex(), sb.SpanHex())
+	}
+	c := New(Options{Seed: 43})
+	if sc := c.Epoch(5).Child("agent", 2); sc.SpanHex() == sa.SpanHex() {
+		t.Fatal("different seeds produced identical span IDs")
+	}
+	if sib := a.Epoch(5).Child("agent", 3); sib.SpanHex() == sa.SpanHex() {
+		t.Fatal("sibling components produced identical span IDs")
+	}
+	if len(sa.TraceHex()) != 16 || len(sa.SpanHex()) != 16 {
+		t.Fatalf("IDs not fixed-width hex: %q %q", sa.TraceHex(), sa.SpanHex())
+	}
+}
+
+func TestEventRecordingAndOrder(t *testing.T) {
+	tr := New(Options{Seed: 7})
+	root := tr.Epoch(1)
+	root.Event(EvEpochStart, Int("down", 0))
+	ag := root.Child("agent", 0)
+	ag.Event(EvFetchRetry, Int("attempt", 1), Str("err", "dial: refused"))
+	ag.Event(EvFetchOK, Int("attempt", 2))
+
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	// Canonical order: components sorted by (kind, id) → agent before runtime.
+	if evs[0].Comp != "agent" || evs[0].Type != EvFetchRetry || evs[0].Seq != 0 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Comp != "agent" || evs[1].Type != EvFetchOK || evs[1].Seq != 1 {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+	if evs[2].Comp != "runtime" || evs[2].Node != -1 || evs[2].Type != EvEpochStart {
+		t.Fatalf("event 2 = %+v", evs[2])
+	}
+	if evs[0].Parent != root.SpanHex() {
+		t.Fatalf("agent event parent = %q, want root span %q", evs[0].Parent, root.SpanHex())
+	}
+	if evs[0].Trace != root.TraceHex() || evs[0].Epoch != 1 {
+		t.Fatalf("agent event trace/epoch = %q/%d", evs[0].Trace, evs[0].Epoch)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(Options{Seed: 1, RingSize: 4})
+	sp := tr.Epoch(1).Child("agent", 0)
+	for i := 0; i < 10; i++ {
+		sp.Event(EvFetchRetry, Int("attempt", i))
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring retained %d events, want 4", len(evs))
+	}
+	// Oldest-first with seq surviving eviction: 6,7,8,9.
+	for i, ev := range evs {
+		if ev.Seq != 6+i {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, 6+i)
+		}
+	}
+	if e, d := tr.Stats(); e != 10 || d != 6 {
+		t.Fatalf("Stats() = %d emitted, %d dropped; want 10, 6", e, d)
+	}
+}
+
+func TestDumpJSONLSchemaAndDeterminism(t *testing.T) {
+	build := func() *Tracer {
+		tr := New(Options{Seed: 99})
+		root := tr.Epoch(1)
+		root.Event(EvEpochStart)
+		root.Child("governor", 1).Event(EvShedPlanned, F64("width", 0.25), Int("slices", 2))
+		root.Child("agent", 0).Event(EvFetchOK, Int("attempt", 1))
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := build().Dump(&a, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().Dump(&b, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same-seed dumps are not byte-identical")
+	}
+
+	known := make(map[string]bool)
+	for _, k := range KnownTypes() {
+		known[k] = true
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("dump has %d lines, want 4 (header + 3 events)", len(lines))
+	}
+	for i, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i, err)
+		}
+		if !known[ev.Type] {
+			t.Fatalf("line %d has unknown type %q", i, ev.Type)
+		}
+		if len(ev.Trace) != 16 || len(ev.Span) != 16 {
+			t.Fatalf("line %d IDs not 16-hex: %q %q", i, ev.Trace, ev.Span)
+		}
+	}
+	var header Event
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+		t.Fatal(err)
+	}
+	if header.Type != EvDump || header.Comp != "recorder" {
+		t.Fatalf("header = %+v", header)
+	}
+}
+
+func TestDumpOnceFirstTriggerWins(t *testing.T) {
+	tr := New(Options{Seed: 5})
+	tr.Epoch(1).Event(EvEpochStart)
+	var sink bytes.Buffer
+	tr.SetSink(&sink)
+	if !tr.DumpOnce("coverage_violation") {
+		t.Fatal("first DumpOnce did not dump")
+	}
+	first := sink.String()
+	if tr.DumpOnce("run_end") {
+		t.Fatal("second DumpOnce dumped again")
+	}
+	if sink.String() != first {
+		t.Fatal("second DumpOnce appended to the sink")
+	}
+	if !strings.Contains(first, `"v":"coverage_violation"`) {
+		t.Fatalf("dump header lost the first reason: %s", first)
+	}
+
+	// Without a sink, DumpOnce stays armed rather than burning the trigger.
+	tr2 := New(Options{Seed: 5})
+	if tr2.DumpOnce("early") {
+		t.Fatal("sinkless DumpOnce reported a dump")
+	}
+	var sink2 bytes.Buffer
+	tr2.SetSink(&sink2)
+	if !tr2.DumpOnce("late") {
+		t.Fatal("DumpOnce after SetSink did not dump")
+	}
+}
+
+func TestConcurrentComponentsAreSafe(t *testing.T) {
+	tr := New(Options{Seed: 11, RingSize: 64})
+	root := tr.Epoch(1)
+	var wg sync.WaitGroup
+	for j := 0; j < 8; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			sp := root.Child("agent", j)
+			for i := 0; i < 100; i++ {
+				sp.Event(EvFetchOK, Int("attempt", i))
+			}
+		}(j)
+	}
+	wg.Wait()
+	if e, d := tr.Stats(); e != 800 || d != 8*(100-64) {
+		t.Fatalf("Stats() = %d emitted, %d dropped", e, d)
+	}
+	evs := tr.Events()
+	for i := 1; i < len(evs); i++ {
+		a, b := evs[i-1], evs[i]
+		if a.Comp == b.Comp && a.Node == b.Node && a.Seq >= b.Seq {
+			t.Fatalf("component %s/%d out of order: seq %d then %d", a.Comp, a.Node, a.Seq, b.Seq)
+		}
+	}
+}
+
+func TestWatchdog(t *testing.T) {
+	if NewWatchdog(Disabled()) != nil {
+		t.Fatal("Disabled SLO built a live watchdog")
+	}
+	var nilW *Watchdog
+	if v := nilW.Check(Span{}, EpochStats{}); v != nil {
+		t.Fatalf("nil watchdog returned violations: %v", v)
+	}
+
+	slo := Disabled()
+	slo.MinWorstCoverage = 0.9
+	slo.MaxShedWidth = 0.2
+	slo.MaxDarkAgents = 0
+	slo.DeadlineMissIsViolation = true
+	w := NewWatchdog(slo)
+	if w == nil {
+		t.Fatal("enabled SLO built nil watchdog")
+	}
+
+	tr := New(Options{Seed: 3})
+	span := tr.Epoch(1)
+	got := w.Check(span, EpochStats{
+		WorstCoverage: 0.5, AvgCoverage: 0.95,
+		ShedWidth: 0.3, DarkAgents: 1, DeadlineMiss: true,
+	})
+	rules := make([]string, len(got))
+	for i, v := range got {
+		rules[i] = v.Rule
+	}
+	want := []string{"min_worst_coverage", "max_shed_width", "max_dark_agents", "deadline_miss"}
+	if !reflect.DeepEqual(rules, want) {
+		t.Fatalf("violated rules = %v, want %v", rules, want)
+	}
+	var sloEvents int
+	for _, ev := range tr.Events() {
+		if ev.Type == EvSLOViolation {
+			sloEvents++
+		}
+	}
+	if sloEvents != len(want) {
+		t.Fatalf("recorded %d slo_violation events, want %d", sloEvents, len(want))
+	}
+
+	// Clean epoch → no violations; zero Span still returns verdicts.
+	if v := w.Check(Span{}, EpochStats{WorstCoverage: 0.99, AvgCoverage: 0.99}); v != nil {
+		t.Fatalf("clean epoch violated: %v", v)
+	}
+	if v := w.Check(Span{}, EpochStats{WorstCoverage: 0.5}); len(v) == 0 {
+		t.Fatal("zero-span Check lost the verdicts")
+	}
+}
+
+func TestDisabledSLOIsDisabled(t *testing.T) {
+	if Disabled().Enabled() {
+		t.Fatal("Disabled() SLO reports Enabled")
+	}
+	s := Disabled()
+	s.MaxFetchFailures = 0 // zero tolerance is an active rule
+	if !s.Enabled() {
+		t.Fatal("zero-tolerance rule not detected as enabled")
+	}
+}

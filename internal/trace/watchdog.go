@@ -1,0 +1,125 @@
+package trace
+
+import "fmt"
+
+// SLO declares per-epoch service-level thresholds for the watchdog.
+// Float minimums use 0 as "disabled" (coverage is in (0, 1]);
+// integer/width maximums use negative values as "disabled" so 0 can
+// express zero tolerance — which means the zero value of SLO is NOT
+// all-off. Start from Disabled() and enable rules one by one.
+type SLO struct {
+	// MinWorstCoverage / MinAvgCoverage bound the wire-audited coverage
+	// for the epoch; 0 disables.
+	MinWorstCoverage float64
+	MinAvgCoverage   float64
+	// MaxShedWidth caps the total normalized hash-range width shed across
+	// nodes in one epoch; negative disables.
+	MaxShedWidth float64
+	// MaxReplanIters caps solver iterations spent replanning in one epoch
+	// (the deterministic replan-latency unit); negative disables.
+	MaxReplanIters int
+	// MaxFetchFailures / MaxDarkAgents cap failed manifest fetches and
+	// agents left analyzing nothing; negative disables.
+	MaxFetchFailures int
+	MaxDarkAgents    int
+	// DeadlineMissIsViolation treats a replan iteration-deadline miss as
+	// an SLO violation.
+	DeadlineMissIsViolation bool
+}
+
+// Enabled reports whether any rule is active.
+func (s SLO) Enabled() bool {
+	return s.MinWorstCoverage > 0 || s.MinAvgCoverage > 0 ||
+		s.MaxShedWidth >= 0 || s.MaxReplanIters >= 0 ||
+		s.MaxFetchFailures >= 0 || s.MaxDarkAgents >= 0 ||
+		s.DeadlineMissIsViolation
+}
+
+// Disabled returns an SLO with every rule off — the starting point for
+// building one rule-by-rule, since the zero value of the integer fields
+// means zero tolerance, not disabled.
+func Disabled() SLO {
+	return SLO{
+		MaxShedWidth:     -1,
+		MaxReplanIters:   -1,
+		MaxFetchFailures: -1,
+		MaxDarkAgents:    -1,
+	}
+}
+
+// EpochStats is the per-epoch observation the watchdog evaluates; the
+// runtime fills it from the epoch report it already computes.
+type EpochStats struct {
+	WorstCoverage float64
+	AvgCoverage   float64
+	ShedWidth     float64
+	ReplanIters   int
+	FetchFailures int
+	DarkAgents    int
+	DeadlineMiss  bool
+}
+
+// Violation is one breached rule: the rule's name plus the observed value
+// and the declared bound, both pre-rendered for uniform reporting.
+type Violation struct {
+	Rule  string
+	Value string
+	Bound string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s=%s (bound %s)", v.Rule, v.Value, v.Bound)
+}
+
+// Watchdog evaluates EpochStats against a declarative SLO and emits one
+// slo_violation event per breached rule. Nil is the no-op watchdog.
+type Watchdog struct {
+	slo SLO
+}
+
+// NewWatchdog builds a watchdog for the given SLO. It returns nil — the
+// no-op watchdog — when no rule is enabled.
+func NewWatchdog(slo SLO) *Watchdog {
+	if !slo.Enabled() {
+		return nil
+	}
+	return &Watchdog{slo: slo}
+}
+
+// Check evaluates one epoch and returns the breached rules in fixed rule
+// order, recording an slo_violation event per breach on span (which may
+// be the zero Span: the verdicts still return, only the events drop).
+// A nil watchdog returns nil.
+func (w *Watchdog) Check(span Span, s EpochStats) []Violation {
+	if w == nil {
+		return nil
+	}
+	var out []Violation
+	fail := func(rule, value, bound string) {
+		out = append(out, Violation{Rule: rule, Value: value, Bound: bound})
+		span.Event(EvSLOViolation, Str("rule", rule), Str("value", value), Str("bound", bound))
+	}
+	f := func(v float64) string { return F64("", v).V }
+	if w.slo.MinWorstCoverage > 0 && s.WorstCoverage < w.slo.MinWorstCoverage {
+		fail("min_worst_coverage", f(s.WorstCoverage), f(w.slo.MinWorstCoverage))
+	}
+	if w.slo.MinAvgCoverage > 0 && s.AvgCoverage < w.slo.MinAvgCoverage {
+		fail("min_avg_coverage", f(s.AvgCoverage), f(w.slo.MinAvgCoverage))
+	}
+	if w.slo.MaxShedWidth >= 0 && s.ShedWidth > w.slo.MaxShedWidth {
+		fail("max_shed_width", f(s.ShedWidth), f(w.slo.MaxShedWidth))
+	}
+	if w.slo.MaxReplanIters >= 0 && s.ReplanIters > w.slo.MaxReplanIters {
+		fail("max_replan_iters", fmt.Sprint(s.ReplanIters), fmt.Sprint(w.slo.MaxReplanIters))
+	}
+	if w.slo.MaxFetchFailures >= 0 && s.FetchFailures > w.slo.MaxFetchFailures {
+		fail("max_fetch_failures", fmt.Sprint(s.FetchFailures), fmt.Sprint(w.slo.MaxFetchFailures))
+	}
+	if w.slo.MaxDarkAgents >= 0 && s.DarkAgents > w.slo.MaxDarkAgents {
+		fail("max_dark_agents", fmt.Sprint(s.DarkAgents), fmt.Sprint(w.slo.MaxDarkAgents))
+	}
+	if w.slo.DeadlineMissIsViolation && s.DeadlineMiss {
+		fail("deadline_miss", "true", "false")
+	}
+	return out
+}

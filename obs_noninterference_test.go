@@ -3,6 +3,12 @@ package nwdeploy
 import (
 	"reflect"
 	"testing"
+	"time"
+
+	"nwdeploy/internal/chaos"
+	"nwdeploy/internal/cluster"
+	"nwdeploy/internal/control"
+	"nwdeploy/internal/trace"
 )
 
 // The observability contract of the public surface: a live Metrics
@@ -136,5 +142,56 @@ func TestDeprecatedWrappersAgree(t *testing.T) {
 
 	if ad := NewAdaptiveNIPSWithHorizon(ninst, 10, 0.01, 4); ad == nil {
 		t.Fatal("NewAdaptiveNIPSWithHorizon returned nil")
+	}
+}
+
+// TestTracerNonInterference extends the write-only contract to the trace
+// layer: a live flight recorder threaded through the cluster runtime must
+// not change a single field of the reports — the plans published, the
+// per-epoch coverage, the watchdog's view of the world — while still
+// recording the run.
+func TestTracerNonInterference(t *testing.T) {
+	run := func(tr *trace.Tracer) *cluster.ChaosReport {
+		rep, err := cluster.CoverageUnderChaos(cluster.ChaosConfig{
+			Sessions: 600, Epochs: 3, Seed: 17, Probes: 300,
+			Faults: chaos.NetworkFaults{DropProb: 0.25, BlackholeProb: 0.1},
+			Retry: cluster.RetryPolicy{
+				MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+			},
+			Agent: control.AgentOptions{
+				DialTimeout: 100 * time.Millisecond, RPCTimeout: 100 * time.Millisecond,
+			},
+			Trace: tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	plain := run(nil)
+	tr := trace.New(trace.Options{Seed: 17})
+	traced := run(tr)
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatal("live tracer changed the chaos report")
+	}
+	if emitted, _ := tr.Stats(); emitted == 0 {
+		t.Fatal("tracer recorded no events; instrumentation dead")
+	}
+
+	over := func(tr *trace.Tracer) *cluster.OverloadReport {
+		rep, err := cluster.RunOverload(cluster.OverloadConfig{
+			Sessions: 1200, Epochs: 3, Seed: 17, Governor: true,
+			BurstFactor: 1.8, BurstProb: 0.5, BaseJitter: 0.05,
+			Probes: 300, Trace: tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	plainOver := over(nil)
+	tracedOver := over(trace.New(trace.Options{Seed: 17}))
+	if !reflect.DeepEqual(plainOver, tracedOver) {
+		t.Fatal("live tracer changed the overload report")
 	}
 }
