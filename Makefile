@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench fuzz vet test build trace
+.PHONY: check race bench fuzz vet test build trace allocs
 
 # Tier-1 verification: everything must build, vet cleanly, and the full
 # test suite pass.
@@ -24,7 +24,17 @@ vet:
 # scheduling each run is the point.
 race: vet
 	$(GO) test -race ./...
-	$(GO) test -race -count=1 ./internal/chaos/ ./internal/cluster/ ./internal/governor/
+	$(GO) test -race -count=1 ./internal/chaos/ ./internal/cluster/ ./internal/governor/ \
+		./internal/bro/ ./internal/conntrack/
+
+# Allocation gate: rerun the testing.AllocsPerRun contracts of the
+# per-packet path uncached. The decision path (ShouldAnalyze / DecideAll /
+# DecideMask / CoversUnit), the engine's steady-state ingestion, the
+# conntrack pool, and the arena index must all report 0 allocs/op;
+# -count=1 keeps a cached pass from masking a regression.
+allocs:
+	$(GO) test -count=1 -run 'AllocFree|Alloc|Pool' \
+		./internal/control/ ./internal/bro/ ./internal/conntrack/ ./internal/hashing/
 
 # Fuzz tier: a short smoke run of the solver fuzzer (simplex vs brute-force
 # vertex enumeration on random small LPs). CI-friendly; run with a longer
@@ -44,7 +54,10 @@ fuzz:
 # recorder off vs on (the acceptance bar is <= 5% slowdown when on), and
 # the traced overload run leaves BENCH_trace.json (trace.events /
 # trace.dropped gauges alongside the run's metrics) plus the JSONL dump
-# itself in BENCH_trace.jsonl.
+# itself in BENCH_trace.jsonl. cmd/dataplane times the per-packet decision
+# path against the retained pre-index baseline (identical verdicts
+# enforced) and writes BENCH_dataplane.json with decisions/sec,
+# packets/sec, and the allocs/op of the batched path, which must be zero.
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) test -bench=. -benchmem ./internal/obs/
@@ -52,6 +65,8 @@ bench:
 	$(GO) test -bench=TraceOverhead -benchmem ./internal/cluster/
 	$(GO) test -bench=WarmVsColdReplan -benchmem ./internal/lp/
 	$(GO) test -bench=ShedFilter -benchmem ./internal/bro/
+	$(GO) test -bench=DataplaneDecide -benchmem ./internal/control/
+	$(GO) run ./cmd/dataplane -o BENCH_dataplane.json
 	$(GO) run ./cmd/experiments -quick -metrics BENCH_obs.json >/dev/null
 	$(GO) run ./cmd/experiments -quick -only overload -metrics BENCH_governor.json >/dev/null
 	$(GO) run ./cmd/cluster -sessions 2000 -epochs 6 -metrics BENCH_cluster.json >/dev/null

@@ -1,0 +1,139 @@
+package bro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nwdeploy/internal/control"
+	"nwdeploy/internal/core"
+	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/obs"
+	"nwdeploy/internal/traffic"
+)
+
+// wireDeciderScenario builds a solved deployment and hands back the wire
+// manifest's Decider for one node — the full data-plane decision stack.
+func wireDeciderScenario(t *testing.T) ([]ModuleSpec, []traffic.Session, *control.Decider, int) {
+	t.Helper()
+	topo, modules, sessions, plan := solvedScenario(t)
+	node := 10
+	m, err := control.ManifestFromPlan(plan, node, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return modules, nodeTraceFor(topo, sessions, node), control.NewDecider(m), node
+}
+
+// The engine's published cpu_units/mem_bytes counters must equal the
+// report they were derived from — rounded once at the top level — and must
+// be identical for the serial and sharded paths. The previous per-lane
+// int64() truncation could lose up to one unit per lane, so sharded totals
+// drifted from serial ones and neither matched the report.
+func TestRunMetricsMatchReport(t *testing.T) {
+	modules, sessions, dec, node := wireDeciderScenario(t)
+	for _, workers := range []int{1, 4} {
+		reg := obs.New()
+		cfg := Config{
+			Mode: ModeCoordEvent, Modules: modules, Decider: dec, Node: node,
+			Hasher: hashing.Hasher{Key: 1}, Workers: workers, Metrics: reg,
+		}
+		rep := Run(cfg, sessions)
+		if got, want := reg.Counter("bro.cpu_units").Value(), int64(math.Round(rep.CPUUnits)); got != want {
+			t.Errorf("workers=%d: bro.cpu_units = %d, round(report.CPUUnits) = %d", workers, got, want)
+		}
+		if got, want := reg.Counter("bro.mem_bytes").Value(), int64(math.Round(rep.MemBytes)); got != want {
+			t.Errorf("workers=%d: bro.mem_bytes = %d, round(report.MemBytes) = %d", workers, got, want)
+		}
+	}
+}
+
+// The per-session decision path — batch manifest check, shed filter, pass
+// bookkeeping, cost accounting — must not allocate once the engine is
+// warm. This is the tentpole contract: session ingestion at line rate
+// cannot afford per-session garbage.
+func TestEngineDecisionPathAllocFree(t *testing.T) {
+	modules, sessions, dec, node := wireDeciderScenario(t)
+	if len(sessions) < 64 {
+		t.Fatal("scenario trace too small")
+	}
+	// Strip policy scripts: the policy VM's table writes are per-connection
+	// analysis state, not the decision path under test here.
+	lean := make([]ModuleSpec, len(modules))
+	for i, m := range modules {
+		lean[i] = m
+		lean[i].PolicyScript = nil
+		lean[i].EarliestCheck = StageEvent
+	}
+	cfg := Config{
+		Mode: ModeCoordEvent, Modules: lean, Decider: dec, Node: node,
+		Hasher: hashing.Hasher{Key: 1},
+	}
+	e := newEngine(cfg, nil)
+	for si, s := range sessions { // warm up maps and the VM
+		e.processSession(si, s)
+	}
+	i := 0
+	if n := testing.AllocsPerRun(2000, func() {
+		e.processSession(i, sessions[i])
+		i = (i + 1) % len(sessions)
+	}); n != 0 {
+		t.Fatalf("decision path allocates %v per session, want 0", n)
+	}
+}
+
+// The batch decision fast path must be invisible: a Decider driven through
+// DecideAll and the same Decider driven per class must produce identical
+// reports, serial and sharded alike. perClassOnly hides the BatchDecider
+// interface to force the slow path.
+type perClassOnly struct{ d *control.Decider }
+
+func (p perClassOnly) ShouldAnalyze(class int, s traffic.Session) bool {
+	return p.d.ShouldAnalyze(class, s)
+}
+
+func TestBatchDecisionPathEquivalence(t *testing.T) {
+	modules, sessions, dec, node := wireDeciderScenario(t)
+	for _, workers := range []int{1, 4} {
+		base := Config{
+			Mode: ModeCoordEvent, Modules: modules, Node: node,
+			Hasher: hashing.Hasher{Key: 1}, Workers: workers,
+		}
+		batched := base
+		batched.Decider = dec
+		perClass := base
+		perClass.Decider = perClassOnly{dec}
+		a, b := Run(batched, sessions), Run(perClass, sessions)
+		if a.CPUUnits != b.CPUUnits || a.MemBytes != b.MemBytes ||
+			a.Conns != b.Conns || a.Alerts != b.Alerts {
+			t.Fatalf("workers=%d: batch and per-class decisions disagree:\n batch: %+v\n class: %+v",
+				workers, a, b)
+		}
+	}
+}
+
+var _ core.Scope // keep core imported if scenarios change
+
+// The strconv-based tuple rendering must be byte-identical to the fmt-based
+// FiveTuple.String it replaced: conn-log equivalence checks compare these
+// strings across deployments.
+func TestCanonicalTupleStringMatchesFiveTupleString(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		ft := hashing.FiveTuple{
+			SrcIP:   rng.Uint32(),
+			DstIP:   rng.Uint32(),
+			SrcPort: uint16(rng.Intn(65536)),
+			DstPort: uint16(rng.Intn(65536)),
+			Proto:   uint8(rng.Intn(256)),
+		}
+		canon := ft
+		if canon.SrcIP > canon.DstIP || (canon.SrcIP == canon.DstIP && canon.SrcPort > canon.DstPort) {
+			canon = canon.Reverse()
+		}
+		got := canonicalTupleString(traffic.Session{Tuple: ft})
+		if want := canon.String(); got != want {
+			t.Fatalf("canonicalTupleString(%v) = %q, want %q", ft, got, want)
+		}
+	}
+}

@@ -2,6 +2,9 @@ package bro
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
+	"sort"
 
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/hashing"
@@ -48,6 +51,26 @@ const (
 // importing the planner.
 type ManifestDecider interface {
 	ShouldAnalyze(class int, s traffic.Session) bool
+}
+
+// BatchDecider is a ManifestDecider that can resolve every class of a
+// session in one call (internal/control.Decider implements it). The engine
+// uses it when available: the session's unit keys and selection hashes are
+// computed once and shared across classes instead of once per module. The
+// batch results must equal per-class ShouldAnalyze calls bit for bit.
+type BatchDecider interface {
+	ManifestDecider
+	DecideAll(s traffic.Session, out []bool)
+}
+
+// MaskDecider is a BatchDecider that can return the verdict row as a bit
+// mask (bit c = class c analyzes the session; ok false when the manifest
+// has more than 64 classes). The pass precomputation scatters the word
+// straight into its bit-packed set — no []bool row, no per-module
+// MatchesSession re-check (the decider's class filter is that check).
+type MaskDecider interface {
+	BatchDecider
+	DecideMask(s *traffic.Session) (mask uint64, ok bool)
 }
 
 // ShedFilter vetoes analysis for sessions the node's load governor has
@@ -169,9 +192,21 @@ type engine struct {
 	sessionOwner bool
 	owned        []bool // nil = all modules
 	// pass, when non-nil, holds the precomputed manifest decisions for
-	// every (session, module) pair, flattened session-major. The decisions
-	// are stateless, so one shared read-only copy serves every lane.
-	pass []bool
+	// every (session, module) pair, bit-packed. The decisions are
+	// stateless, so one shared read-only copy serves every lane.
+	pass *passSet
+	// scratch is the per-session decision row, allocated once per engine so
+	// the per-session loop never allocates (the legacy path made a fresh
+	// []bool for every session).
+	scratch []bool
+	// batch and decScratch serve the serial decision path: when the
+	// configured Decider supports batch resolution, one DecideAll call per
+	// session replaces per-module ShouldAnalyze calls.
+	batch      BatchDecider
+	decScratch []bool
+	// ctxBuf is the reused VM invocation context; contextFor fills it in
+	// place so analyzed sessions don't heap-allocate one per module event.
+	ctxBuf vmContext
 
 	// modPkts/modBytes accumulate analyzed packets and bytes per owned
 	// module, allocated only when cfg.Metrics is live so the
@@ -205,6 +240,15 @@ func runInternal(cfg Config, sessions []traffic.Session, onAnalyze func(int, tra
 		}
 		rep = e.finish()
 	}
+	if cfg.Metrics != nil {
+		// Float aggregates are rounded once, from the merged report, so the
+		// serial and sharded runs publish identical counters. Per-lane
+		// truncation (the previous behavior) lost up to one unit per lane:
+		// int64(x) per lane truncates toward zero, and the sum of
+		// truncations is not the truncation of the sum.
+		cfg.Metrics.Add("bro.cpu_units", int64(math.Round(rep.CPUUnits)))
+		cfg.Metrics.Add("bro.mem_bytes", int64(math.Round(rep.MemBytes)))
+	}
 	cfg.Trace.Event(trace.EvEngineRun,
 		trace.Int("alerts", rep.Alerts), trace.Int("conns", rep.Conns),
 		trace.F64("cpu", rep.CPUUnits))
@@ -221,6 +265,11 @@ func newEngine(cfg Config, onAnalyze func(int, traffic.Session)) *engine {
 	e.tables = make([]*moduleTables, len(cfg.Modules))
 	for i := range e.tables {
 		e.tables[i] = newModuleTables()
+	}
+	e.scratch = make([]bool, len(cfg.Modules))
+	if bd, ok := cfg.Decider.(BatchDecider); ok {
+		e.batch = bd
+		e.decScratch = make([]bool, len(cfg.Modules))
 	}
 	if cfg.Metrics != nil {
 		e.modPkts = make([]float64, len(cfg.Modules))
@@ -256,8 +305,9 @@ func (e *engine) recordMetrics() {
 		m.Add("bro.conns", int64(e.rep.Conns))
 	}
 	m.Add("bro.alerts", int64(e.rep.Alerts))
-	m.Add("bro.cpu_units", int64(e.rep.CPUUnits))
-	m.Add("bro.mem_bytes", int64(e.rep.MemBytes))
+	// bro.cpu_units and bro.mem_bytes are recorded once at the top level of
+	// runInternal from the merged report, never per lane: per-lane
+	// truncation made the sharded totals drift from the serial ones.
 	for mi, spec := range e.cfg.Modules {
 		if !e.owns(mi) {
 			continue
@@ -289,6 +339,8 @@ func runSharded(cfg Config, sessions []traffic.Session, workers int) Report {
 	pass := precomputePasses(cfg, sessions, workers)
 	// Phase 2: lane 0 owns session-level connection processing; lane mi+1
 	// owns module mi's analysis work and tables.
+	coordinated := cfg.Mode != ModePlain
+	hasManifest := cfg.Plan != nil || cfg.Decider != nil || cfg.Shed != nil
 	reports := parallel.Map(workers, L+1, func(lane int) Report {
 		lsp := cfg.Metrics.StartSpan("bro.lane_ns")
 		defer lsp.End()
@@ -301,20 +353,41 @@ func runSharded(cfg Config, sessions []traffic.Session, workers int) Report {
 			e.sessionOwner = false
 			e.owned[lane-1] = true
 		}
-		for si, s := range sessions {
-			e.processSession(si, s)
+		if lane > 0 && coordinated && hasManifest {
+			// Module lanes only ever touch sessions some module passes:
+			// processSession returns before the module loop otherwise, and
+			// everything above that return is sessionOwner-gated. Walking
+			// the bit-packed any row lets the lane skip 64 dropped sessions
+			// per zero word instead of probing each.
+			pass.forEachAny(len(sessions), func(si int) {
+				e.processSession(si, sessions[si])
+			})
+		} else {
+			for si, s := range sessions {
+				e.processSession(si, s)
+			}
 		}
 		return e.finish()
 	})
 	merged := Report{Node: cfg.Node, PerModuleCPU: make(map[string]float64, L)}
+	names := make([]string, 0, L)
 	for _, r := range reports {
 		merged.CPUUnits += r.CPUUnits
 		merged.MemBytes += r.MemBytes
 		merged.Conns += r.Conns
 		merged.Observed += r.Observed
 		merged.Alerts += r.Alerts
-		for name, c := range r.PerModuleCPU {
-			merged.PerModuleCPU[name] += c
+		// Merge per-module CPU in lane order then sorted-name order. Map
+		// iteration order is randomized; when two modules share a name
+		// (each lane contributes a partial sum to the same key) a random
+		// merge order perturbs the float sum's last ULP between runs.
+		names = names[:0]
+		for name := range r.PerModuleCPU {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			merged.PerModuleCPU[name] += r.PerModuleCPU[name]
 		}
 	}
 	return merged
@@ -324,33 +397,77 @@ func runSharded(cfg Config, sessions []traffic.Session, workers int) Report {
 // (session, module) pair. The decision depends only on the plan and the
 // session tuple, never on engine state, which is what makes it safe to
 // hoist out of the per-lane walks.
-func precomputePasses(cfg Config, sessions []traffic.Session, workers int) []bool {
+func precomputePasses(cfg Config, sessions []traffic.Session, workers int) *passSet {
 	L := len(cfg.Modules)
-	pass := make([]bool, len(sessions)*L)
+	pass := newPassSet(len(sessions), L)
 	probe := &engine{cfg: cfg}
 	coordinated := cfg.Mode != ModePlain
-	const block = 1024
-	nBlocks := (len(sessions) + block - 1) / block
+	batch, _ := cfg.Decider.(BatchDecider)
+	maskDec, _ := cfg.Decider.(MaskDecider)
+	nBlocks := (len(sessions) + passBlock - 1) / passBlock
 	parallel.ForEach(workers, nBlocks, func(b int) {
-		lo := b * block
-		hi := lo + block
+		lo := b * passBlock
+		hi := lo + passBlock
 		if hi > len(sessions) {
 			hi = len(sessions)
 		}
+		// Block-local decision scratch for the batch path: one allocation
+		// per 1024 sessions, not per session.
+		var dec []bool
+		if batch != nil && coordinated {
+			dec = make([]bool, L)
+		}
 		for si := lo; si < hi; si++ {
 			s := sessions[si]
-			row := pass[si*L : (si+1)*L]
+			if maskDec != nil && coordinated {
+				// Mask fast path: the decider's class filter is exactly
+				// ModuleSpec.MatchesSession (the wire manifest copies Ports
+				// and Transport through), so each set bit is a pass, modulo
+				// the governor veto.
+				if em, ok := maskDec.DecideMask(&s); ok {
+					if L < 64 {
+						em &= uint64(1)<<uint(L) - 1
+					}
+					for ; em != 0; em &= em - 1 {
+						mi := bits.TrailingZeros64(em)
+						if cfg.Shed != nil && cfg.Shed.Sheds(mi, s) {
+							continue
+						}
+						pass.set(si, mi)
+					}
+					continue
+				}
+			}
+			if dec != nil {
+				batch.DecideAll(s, dec)
+			}
 			for mi, m := range cfg.Modules {
 				if !m.MatchesSession(s) {
 					continue
 				}
-				if !coordinated || probe.analyzes(mi, s) {
-					row[mi] = true
+				if !coordinated || probeAnalyzes(probe, dec, mi, s) {
+					pass.set(si, mi)
 				}
 			}
 		}
 	})
 	return pass
+}
+
+// probeAnalyzes is analyzes with an optional batch-resolved decision row:
+// the governor's shed veto still runs first, then the precomputed manifest
+// verdict replaces the per-class Decider call.
+func probeAnalyzes(e *engine, dec []bool, mi int, s traffic.Session) bool {
+	if dec == nil {
+		return e.analyzes(mi, s)
+	}
+	if e.cfg.Shed != nil && e.cfg.Shed.Sheds(mi, s) {
+		return false
+	}
+	if mi >= len(dec) {
+		return false
+	}
+	return dec[mi]
 }
 
 // analyzes resolves the Figure 3 manifest decision for one module, after
@@ -366,6 +483,20 @@ func (e *engine) analyzes(mi int, s traffic.Session) bool {
 		return true // standalone: manifest covers everything
 	}
 	return e.cfg.Plan.ShouldAnalyze(e.cfg.Node, mi, s, e.cfg.Hasher)
+}
+
+// analyzesWith is analyzes using the session's batch-resolved decision row
+// when one is available (filled by processSession just before the module
+// loop). The shed veto still runs per module; only the manifest lookup is
+// replaced.
+func (e *engine) analyzesWith(mi int, s traffic.Session) bool {
+	if e.batch == nil {
+		return e.analyzes(mi, s)
+	}
+	if e.cfg.Shed != nil && e.cfg.Shed.Sheds(mi, s) {
+		return false
+	}
+	return e.decScratch[mi]
 }
 
 // hasManifest reports whether the instance enforces a real (partial)
@@ -402,23 +533,25 @@ func (e *engine) processSession(si int, s traffic.Session) {
 	}
 
 	// Which modules would analyze this session here (manifest decision)?
-	var passes []bool
+	// The decision row lives in the engine's scratch slice — the per-session
+	// loop must not allocate.
+	passes := e.scratch
 	anyPass := false
 	if e.pass != nil {
-		passes = e.pass[si*len(e.cfg.Modules) : (si+1)*len(e.cfg.Modules)]
-		for _, ok := range passes {
-			if ok {
-				anyPass = true
-				break
-			}
+		anyPass = e.pass.any(si)
+		for mi := range passes {
+			passes[mi] = e.pass.get(si, mi)
 		}
 	} else {
-		passes = make([]bool, len(e.cfg.Modules))
+		if e.batch != nil && coordinated {
+			e.batch.DecideAll(s, e.decScratch)
+		}
 		for mi, m := range e.cfg.Modules {
+			passes[mi] = false
 			if !m.MatchesSession(s) {
 				continue
 			}
-			if !coordinated || e.analyzes(mi, s) {
+			if !coordinated || e.analyzesWith(mi, s) {
 				passes[mi] = true
 				anyPass = true
 			}
@@ -549,7 +682,10 @@ func (e *engine) fineGrainedOnly(passes []bool) bool {
 	return true
 }
 
-// contextFor builds the VM context for one module invocation.
+// contextFor fills and returns the engine's reused VM context for one
+// module invocation. The returned pointer aliases e.ctxBuf: each call
+// overwrites the previous context, which is safe because the VM consumes
+// the context synchronously and never retains it.
 func (e *engine) contextFor(mi int, s traffic.Session, inRange bool) *vmContext {
 	m := e.cfg.Modules[mi]
 	h := e.cfg.Hasher
@@ -564,7 +700,7 @@ func (e *engine) contextFor(mi int, s traffic.Session, inRange bool) *vmContext 
 	default:
 		hv = h.Session(s.Tuple)
 	}
-	return &vmContext{
+	e.ctxBuf = vmContext{
 		srcKey:  float64(s.Tuple.SrcIP),
 		dstKey:  float64(s.Tuple.DstIP),
 		port:    float64(s.Tuple.DstPort),
@@ -572,6 +708,7 @@ func (e *engine) contextFor(mi int, s traffic.Session, inRange bool) *vmContext 
 		hash:    hv,
 		inRange: inRange,
 	}
+	return &e.ctxBuf
 }
 
 // Overhead compares a coordinated run against a plain run on the same

@@ -1,0 +1,74 @@
+package bro
+
+import "math/bits"
+
+// passSet holds the precomputed Figure 3 manifest decisions for every
+// (session, module) pair of a run, bit-packed module-major: row mi covers
+// all sessions for module mi, one bit per session, plus one extra "any"
+// row that ORs the module rows. Versus the previous []bool (one byte per
+// pair) this is 8x smaller — at a million sessions and a dozen modules the
+// whole set sits in a couple of megabytes of cache-resident words — and
+// the any row lets shard lanes skip 64 non-matching sessions per
+// TrailingZeros64 instead of testing them one by one.
+//
+// Writers fill the set in session blocks of passBlock (a multiple of 64,
+// so parallel block writers touch disjoint words and need no atomics);
+// readers are lock-free after the fill barrier.
+type passSet struct {
+	words  []uint64
+	nMods  int
+	nWords int // words per row
+}
+
+// passBlock is the session-block granularity of parallel fills. It must
+// stay a multiple of 64: block boundaries then fall on word boundaries,
+// which is what makes unsynchronized parallel fills race-free.
+const passBlock = 1024
+
+func newPassSet(nSessions, nMods int) *passSet {
+	nWords := (nSessions + 63) / 64
+	return &passSet{
+		words:  make([]uint64, (nMods+1)*nWords),
+		nMods:  nMods,
+		nWords: nWords,
+	}
+}
+
+// set marks session si as passing for module mi (and in the any row). Not
+// atomic: concurrent writers must own disjoint passBlock session blocks.
+func (p *passSet) set(si, mi int) {
+	w, b := si>>6, uint(si&63)
+	p.words[mi*p.nWords+w] |= 1 << b
+	p.words[p.nMods*p.nWords+w] |= 1 << b
+}
+
+// get reports whether session si passes for module mi.
+func (p *passSet) get(si, mi int) bool {
+	return p.words[mi*p.nWords+si>>6]>>(uint(si&63))&1 != 0
+}
+
+// any reports whether session si passes for any module.
+func (p *passSet) any(si int) bool {
+	return p.words[p.nMods*p.nWords+si>>6]>>(uint(si&63))&1 != 0
+}
+
+// anyWord returns word w of the any row: 64 sessions' any-pass bits.
+func (p *passSet) anyWord(w int) uint64 {
+	return p.words[p.nMods*p.nWords+w]
+}
+
+// forEachAny calls fn(si) for every session in [0, nSessions) whose any
+// bit is set, in ascending order, skipping whole zero words.
+func (p *passSet) forEachAny(nSessions int, fn func(si int)) {
+	row := p.words[p.nMods*p.nWords:]
+	for w := 0; w < p.nWords; w++ {
+		word := row[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			if si := w<<6 + b; si < nSessions {
+				fn(si)
+			}
+		}
+	}
+}

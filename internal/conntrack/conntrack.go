@@ -73,6 +73,12 @@ type Table struct {
 
 	conns map[hashing.FiveTuple]*Conn
 	byAge connHeap // min-heap on LastSeen
+	// free recycles removed records: a table at steady churn (expiry or
+	// eviction balancing creation) allocates nothing per connection — the
+	// map reuses its buckets, the heap its backing array, and records come
+	// off this list. The list never outgrows the table's own peak, so it
+	// adds no footprint beyond what the table already reached.
+	free []*Conn
 
 	stats Stats
 
@@ -125,7 +131,15 @@ func (t *Table) Update(ft hashing.FiveTuple, now time.Time, packets, bytes int) 
 		return c, false
 	}
 
-	c := &Conn{
+	var c *Conn
+	if n := len(t.free); n > 0 {
+		c = t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+	} else {
+		c = new(Conn)
+	}
+	*c = Conn{
 		Tuple:     key,
 		FirstSeen: now, LastSeen: now,
 		Packets: packets, Bytes: bytes,
@@ -184,6 +198,11 @@ func (t *Table) expireBefore(cutoff time.Time) {
 func (t *Table) remove(c *Conn) {
 	heap.Remove(&t.byAge, c.heapIdx)
 	delete(t.conns, c.Tuple)
+	// The record goes back on the freelist and may be reused by the next
+	// creation: callers must not retain *Conn pointers past the table
+	// operation that could expire or evict them (the data path in
+	// internal/packet reads the record synchronously and drops it).
+	t.free = append(t.free, c)
 }
 
 // Len reports the live record count.

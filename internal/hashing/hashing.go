@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // FiveTuple identifies a unidirectional flow: a sequence of packets with
@@ -40,10 +41,17 @@ func (ft FiveTuple) String() string {
 
 // canonical orders the endpoints so both directions of a session yield the
 // same byte encoding (the paper's "bidirectional 5-tuple such that the
-// src/dst IP are consistent in both directions").
+// src/dst IP are consistent in both directions"). The (IP, port) pairs are
+// compared as packed 48-bit keys and swapped under a single condition —
+// one compare plus conditional moves, no data-dependent branch. On random
+// traffic the direction test is a coin flip, and a mispredicted branch
+// here stalls the serial mix chain that consumes the result.
 func (ft FiveTuple) canonical() FiveTuple {
-	if ft.SrcIP > ft.DstIP || (ft.SrcIP == ft.DstIP && ft.SrcPort > ft.DstPort) {
-		return ft.Reverse()
+	ks := uint64(ft.SrcIP)<<16 | uint64(ft.SrcPort)
+	kd := uint64(ft.DstIP)<<16 | uint64(ft.DstPort)
+	if ks > kd {
+		ft.SrcIP, ft.DstIP = ft.DstIP, ft.SrcIP
+		ft.SrcPort, ft.DstPort = ft.DstPort, ft.SrcPort
 	}
 	return ft
 }
@@ -151,37 +159,155 @@ type Hasher struct {
 // unit converts a 32-bit hash to [0, 1).
 func unit(h uint32) float64 { return float64(h) / 4294967296.0 }
 
+// The per-packet Hasher methods below are fixed-size specializations of
+// Bob over the tuple's wire encoding: the encode buffer and the generic
+// block loop are folded into direct word arithmetic. The outputs are
+// bit-identical to encoding and calling Bob (TestHasherMatchesGenericBob
+// pins this); only the constant-factor cost changes, which matters because
+// these run up to four times per session on the data-plane decision path.
+
+// bob13 is Bob over a 13-byte input given as its three little-endian block
+// words plus the single tail byte. The two mix rounds are written out
+// inline: mix is a 24-op serial dependency chain that the compiler does
+// not inline, and at one-to-four calls per session the call overhead of
+// two outlined rounds is measurable on the decision path.
+func bob13(w0, w1, w2 uint32, tail uint8, seed uint32) uint32 {
+	a, b, c := 0x9e3779b9+w0, 0x9e3779b9+w1, seed+w2
+	a -= b
+	a -= c
+	a ^= c >> 13
+	b -= c
+	b -= a
+	b ^= a << 8
+	c -= a
+	c -= b
+	c ^= b >> 13
+	a -= b
+	a -= c
+	a ^= c >> 12
+	b -= c
+	b -= a
+	b ^= a << 16
+	c -= a
+	c -= b
+	c ^= b >> 5
+	a -= b
+	a -= c
+	a ^= c >> 3
+	b -= c
+	b -= a
+	b ^= a << 10
+	c -= a
+	c -= b
+	c ^= b >> 15
+	c += 13
+	a += uint32(tail)
+	a -= b
+	a -= c
+	a ^= c >> 13
+	b -= c
+	b -= a
+	b ^= a << 8
+	c -= a
+	c -= b
+	c ^= b >> 13
+	a -= b
+	a -= c
+	a ^= c >> 12
+	b -= c
+	b -= a
+	b ^= a << 16
+	c -= a
+	c -= b
+	c ^= b >> 5
+	a -= b
+	a -= c
+	a ^= c >> 3
+	b -= c
+	b -= a
+	b ^= a << 10
+	c -= a
+	c -= b
+	c ^= b >> 15
+	return c
+}
+
+// bob4 is Bob over a 4-byte big-endian input.
+func bob4(v, seed uint32) uint32 {
+	// No full block: c absorbs the length, then the four tail bytes land in
+	// a as the byte-swapped word. Single mix round, written out for the
+	// same reason as bob13.
+	a, b, c := 0x9e3779b9+bits.ReverseBytes32(v), uint32(0x9e3779b9), seed+4
+	a -= b
+	a -= c
+	a ^= c >> 13
+	b -= c
+	b -= a
+	b ^= a << 8
+	c -= a
+	c -= b
+	c ^= b >> 13
+	a -= b
+	a -= c
+	a ^= c >> 12
+	b -= c
+	b -= a
+	b ^= a << 16
+	c -= a
+	c -= b
+	c ^= b >> 5
+	a -= b
+	a -= c
+	a ^= c >> 3
+	b -= c
+	b -= a
+	b ^= a << 10
+	c -= a
+	c -= b
+	c ^= b >> 15
+	return c
+}
+
+// portsWord is the little-endian third block word of the 13-byte encoding:
+// the two big-endian ports byte-swapped and packed.
+func portsWord(sp, dp uint16) uint32 {
+	return uint32(bits.ReverseBytes16(sp)) | uint32(bits.ReverseBytes16(dp))<<16
+}
+
 // Flow hashes the unidirectional 5-tuple to [0, 1). Use for per-flow
 // analyses where direction matters.
 func (h Hasher) Flow(ft FiveTuple) float64 {
-	var b [13]byte
-	ft.encode(&b)
-	return unit(Bob(b[:], h.Key))
+	return unit(bob13(bits.ReverseBytes32(ft.SrcIP), bits.ReverseBytes32(ft.DstIP),
+		portsWord(ft.SrcPort, ft.DstPort), ft.Proto, h.Key))
 }
 
 // Session hashes the bidirectional (canonical) 5-tuple to [0, 1): both
 // directions of a connection land at the same point, so session-based
-// analyses see both halves at the same node.
+// analyses see both halves at the same node. The canonical ordering is
+// done on two packed (IP<<16 | port) words swapped in registers — the
+// same ordering as canonical(), but without shuffling the struct through
+// memory, and compiled branch-free so the coin-flip direction test never
+// mispredicts into the serial mix chain.
 func (h Hasher) Session(ft FiveTuple) float64 {
-	var b [13]byte
-	ft.canonical().encode(&b)
-	return unit(Bob(b[:], h.Key))
+	ks := uint64(ft.SrcIP)<<16 | uint64(ft.SrcPort)
+	kd := uint64(ft.DstIP)<<16 | uint64(ft.DstPort)
+	if ks > kd {
+		ks, kd = kd, ks
+	}
+	return unit(bob13(bits.ReverseBytes32(uint32(ks>>16)), bits.ReverseBytes32(uint32(kd>>16)),
+		portsWord(uint16(ks), uint16(kd)), ft.Proto, h.Key))
 }
 
 // Source hashes only the source address to [0, 1). Per-source analyses
 // (e.g. scan detection) use this so all flows from one host map together.
 func (h Hasher) Source(ft FiveTuple) float64 {
-	var b [4]byte
-	binary.BigEndian.PutUint32(b[:], ft.SrcIP)
-	return unit(Bob(b[:], h.Key))
+	return unit(bob4(ft.SrcIP, h.Key))
 }
 
 // Destination hashes only the destination address to [0, 1). Per-destination
 // analyses (e.g. SYN-flood victim counting) use this.
 func (h Hasher) Destination(ft FiveTuple) float64 {
-	var b [4]byte
-	binary.BigEndian.PutUint32(b[:], ft.DstIP)
-	return unit(Bob(b[:], h.Key))
+	return unit(bob4(ft.DstIP, h.Key))
 }
 
 // Range is a half-open interval [Lo, Hi) within the unit hash space.

@@ -208,3 +208,34 @@ func BenchmarkSessionHash(b *testing.B) {
 		_ = h.Session(ft)
 	}
 }
+
+// The specialized per-packet hash paths must be bit-identical to encoding
+// the tuple and running the generic Bob loop — the hash values are part of
+// the coordination contract (every node must agree on who owns a flow), so
+// any speedup that changes a single output bit silently breaks network-wide
+// coverage.
+func TestHasherMatchesGenericBob(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	generic := func(h Hasher, data []byte) float64 { return unit(Bob(data, h.Key)) }
+	for trial := 0; trial < 2000; trial++ {
+		h := Hasher{Key: rng.Uint32()}
+		ft := randTuple(rng)
+		var b13 [13]byte
+		ft.encode(&b13)
+		if got, want := h.Flow(ft), generic(h, b13[:]); got != want {
+			t.Fatalf("Flow(%v) = %v, generic Bob says %v", ft, got, want)
+		}
+		ft.canonical().encode(&b13)
+		if got, want := h.Session(ft), generic(h, b13[:]); got != want {
+			t.Fatalf("Session(%v) = %v, generic Bob says %v", ft, got, want)
+		}
+		b4 := []byte{byte(ft.SrcIP >> 24), byte(ft.SrcIP >> 16), byte(ft.SrcIP >> 8), byte(ft.SrcIP)}
+		if got, want := h.Source(ft), generic(h, b4); got != want {
+			t.Fatalf("Source(%v) = %v, generic Bob says %v", ft, got, want)
+		}
+		b4 = []byte{byte(ft.DstIP >> 24), byte(ft.DstIP >> 16), byte(ft.DstIP >> 8), byte(ft.DstIP)}
+		if got, want := h.Destination(ft), generic(h, b4); got != want {
+			t.Fatalf("Destination(%v) = %v, generic Bob says %v", ft, got, want)
+		}
+	}
+}

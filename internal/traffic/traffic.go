@@ -170,10 +170,16 @@ func (m Matrix) TopPairs(k int) [][2]int {
 
 // Session is one synthetic end-to-end session (the unit the paper's traces
 // count: "total traffic volume (#sessions)").
+//
+// Field order is part of the data-plane contract: the decision path reads
+// only Tuple, Src, and Dst, so those sit first as an aligned 32-byte
+// prefix. With the struct's 96-byte size, every session's decision fields
+// then land inside a single cache line of the trace slice; with ID first
+// half of them straddled two.
 type Session struct {
-	ID       int
-	Src, Dst int // ingress and egress node IDs
 	Tuple    hashing.FiveTuple
+	Src, Dst int // ingress and egress node IDs
+	ID       int
 	Proto    Protocol
 	Packets  int // both directions
 	Bytes    int
