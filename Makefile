@@ -25,7 +25,7 @@ vet:
 race: vet
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/chaos/ ./internal/cluster/ ./internal/governor/ \
-		./internal/bro/ ./internal/conntrack/
+		./internal/bro/ ./internal/conntrack/ ./internal/control/
 
 # Allocation gate: rerun the testing.AllocsPerRun contracts of the
 # per-packet path uncached. The decision path (ShouldAnalyze / DecideAll /
@@ -58,6 +58,12 @@ fuzz:
 # path against the retained pre-index baseline (identical verdicts
 # enforced) and writes BENCH_dataplane.json with decisions/sec,
 # packets/sec, and the allocs/op of the batched path, which must be zero.
+# cmd/controlplane scales the hierarchical control plane to 1000 in-process
+# agents behind 16 region controllers and writes BENCH_controlplane.json
+# (full-fetch baseline bytes, steady-state delta bytes per epoch,
+# convergence sweeps, agents/sec); it exits nonzero if steady-state delta
+# traffic exceeds 10% of the full baseline or any epoch needs more than
+# one sync sweep budget to converge.
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) test -bench=. -benchmem ./internal/obs/
@@ -67,6 +73,7 @@ bench:
 	$(GO) test -bench=ShedFilter -benchmem ./internal/bro/
 	$(GO) test -bench=DataplaneDecide -benchmem ./internal/control/
 	$(GO) run ./cmd/dataplane -o BENCH_dataplane.json
+	$(GO) run ./cmd/controlplane -o BENCH_controlplane.json
 	$(GO) run ./cmd/experiments -quick -metrics BENCH_obs.json >/dev/null
 	$(GO) run ./cmd/experiments -quick -only overload -metrics BENCH_governor.json >/dev/null
 	$(GO) run ./cmd/cluster -sessions 2000 -epochs 6 -metrics BENCH_cluster.json >/dev/null

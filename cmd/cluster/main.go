@@ -53,6 +53,7 @@ import (
 	"nwdeploy/internal/bro"
 	"nwdeploy/internal/chaos"
 	"nwdeploy/internal/cluster"
+	"nwdeploy/internal/control"
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/topology"
 	"nwdeploy/internal/trace"
@@ -85,6 +86,8 @@ func main() {
 	sloFetchFail := flag.Int("slo-max-fetch-fail", -1, "SLO: maximum fetch failures per epoch (negative disables)")
 	sloDark := flag.Int("slo-max-dark", -1, "SLO: maximum dark agents per epoch (negative disables)")
 	sloDeadline := flag.Bool("slo-deadline-miss", false, "SLO: treat a missed replan deadline as a violation")
+	deltas := flag.Bool("deltas", false, "agents sync via v2 delta subscriptions (one exchange per sync) instead of the legacy probe+fetch pair")
+	encoding := flag.String("encoding", "json", "delta-subscription response encoding: json | bin")
 	overload := flag.Bool("overload", false, "run the overload scenario (bursty traffic + governor/replanning) instead of fault injection")
 	burstFactor := flag.Float64("burstfactor", 4, "overload: volume multiplier on a bursting pair")
 	burstProb := flag.Float64("burstprob", 0.15, "overload: per-(epoch, pair) burst probability")
@@ -191,12 +194,22 @@ func main() {
 		return
 	}
 
+	var enc control.Encoding
+	switch *encoding {
+	case "json":
+		enc = control.EncodingJSON
+	case "bin":
+		enc = control.EncodingBinary
+	default:
+		log.Fatalf("unknown encoding %q (want json or bin)", *encoding)
+	}
 	cfg := cluster.ChaosConfig{
 		Topo: topo, Sessions: *sessions, Epochs: *epochs,
 		Redundancy: *redundancy, Seed: *seed,
 		Faults:       chaos.NetworkFaults{DropProb: *lossProb, BlackholeProb: *blackholeProb},
 		NodeFailProb: *nodeFailProb, ControllerOutageProb: *outageProb, MaxDown: *maxDown,
 		StaleGrace: *staleGrace, ReoptEvery: *reoptEvery,
+		Deltas: *deltas, Encoding: enc,
 		Workers: *workers, Probes: *probes,
 	}
 	if *redundancy > 1 {

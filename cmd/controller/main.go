@@ -41,6 +41,7 @@ func main() {
 	interval := flag.Duration("interval", 5*time.Minute, "re-optimization cadence")
 	hashKey := flag.Uint("hashkey", 0x5eed, "private sampling hash key")
 	once := flag.Bool("once", false, "solve once and serve; no re-optimization loop")
+	history := flag.Int("history", 0, "retained generations for delta serving (0 = default, <0 disables deltas)")
 	cpuCap := flag.Float64("cpucap", 1e7, "per-node CPU capacity")
 	memCap := flag.Float64("memcap", 1e9, "per-node memory capacity")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file on shutdown")
@@ -97,8 +98,9 @@ func main() {
 	}
 
 	ctrl, err := control.NewControllerOpts(*listen, control.ControllerOptions{
-		HashKey: uint32(*hashKey),
-		Metrics: metrics,
+		HashKey:      uint32(*hashKey),
+		Metrics:      metrics,
+		DeltaHistory: *history,
 	})
 	if err != nil {
 		log.Fatal(err)

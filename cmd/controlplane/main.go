@@ -1,0 +1,236 @@
+// Command controlplane benchmarks the hierarchical delta-manifest control
+// plane at scale and writes the results as JSON (BENCH_controlplane.json
+// in the bench tier).
+//
+//	controlplane [-o BENCH_controlplane.json] [-nodes 1000] [-regions 16]
+//	             [-epochs 8] [-churn 0.05] [-encoding bin]
+//
+// The LP solver tops out around 50-node instances, so the deployment plan
+// is synthesized directly: one PerIngress coordination unit per node, with
+// each node's manifest carrying hash ranges for a window of nearby units —
+// the assignment shape ManifestFromPlan produces from real solves, at a
+// node count no dense simplex tableau can reach. A two-tier Hierarchy
+// (region controllers under a global coordinator) serves the plan to one
+// in-process agent per node.
+//
+// The run measures three things the redesigned subscription API promises:
+//
+//   - formation: every agent full-fetches its first manifest — this round's
+//     wire bytes are the full-manifest baseline;
+//   - steady state: each epoch perturbs a -churn fraction of the units and
+//     republishes; agents advance via region deltas, and the per-epoch
+//     delta bytes must stay at or below 10% of the full baseline;
+//   - convergence: every publish must converge the whole cluster in one
+//     bounded sync sweep, at a reported agents/sec sync rate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"nwdeploy/internal/cluster"
+	"nwdeploy/internal/control"
+	"nwdeploy/internal/core"
+	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/topology"
+)
+
+type result struct {
+	Nodes              int     `json:"nodes"`
+	Regions            int     `json:"regions"`
+	UnitsPerManifest   int     `json:"units_per_manifest"`
+	Epochs             int     `json:"epochs"`
+	ChurnFrac          float64 `json:"churn_frac"`
+	Encoding           string  `json:"encoding"`
+	FullBytes          int     `json:"full_bytes"`            // formation round, all agents
+	DeltaBytesPerEpoch float64 `json:"delta_bytes_per_epoch"` // steady-state mean
+	DeltaBytesMaxEpoch int     `json:"delta_bytes_max_epoch"`
+	DeltaFullRatio     float64 `json:"delta_full_ratio"` // mean delta / full baseline
+	DeltaSyncs         int     `json:"delta_syncs"`
+	FullSyncs          int     `json:"full_syncs"` // beyond formation; must be 0
+	ConvergenceSweeps  int     `json:"convergence_sweeps_max"`
+	AgentsPerSec       float64 `json:"agents_per_sec"`
+	FormationMs        float64 `json:"formation_ms"`
+	SteadyEpochMs      float64 `json:"steady_epoch_ms"`
+}
+
+// synthPlan builds a deployment plan for n nodes without the LP: one
+// PerIngress unit per node, and each node's manifest holding ranges for
+// window units centered on itself (mirroring how path-sharing spreads a
+// unit's analysts across neighborhoods in solved plans).
+func synthPlan(topo *topology.Topology, window int) *core.Plan {
+	n := topo.N()
+	inst := &core.Instance{
+		Topo: topo,
+		Classes: []core.Class{
+			{Name: "signature", Scope: core.PerIngress, Agg: core.BySource, CPUPerPkt: 1, MemPerItem: 400},
+		},
+		Caps: core.UniformCaps(n, 1e9, 1e12),
+	}
+	for j := 0; j < n; j++ {
+		inst.Units = append(inst.Units, core.CoordUnit{
+			Class: 0, Key: [2]int{j, -1}, Nodes: []int{j}, Pkts: 1e5, Items: 1e4,
+		})
+	}
+	plan := &core.Plan{Inst: inst, Redundancy: 1}
+	for j := 0; j < n; j++ {
+		m := core.NodeManifest{Node: j, Ranges: make(map[int]hashing.RangeSet, window)}
+		for w := 0; w < window; w++ {
+			u := (j + w) % n
+			// Each unit's hash space is split across the window nodes that
+			// carry it; node j owns slice w of unit (j+w)%n.
+			lo := float64(w) / float64(window)
+			hi := float64(w+1) / float64(window)
+			m.Ranges[u] = hashing.RangeSet{{Lo: lo, Hi: hi}}
+		}
+		plan.Manifests = append(plan.Manifests, m)
+	}
+	return plan
+}
+
+// churn perturbs the plan in place: for a deterministic frac-sized subset
+// of units (rotating with the epoch), every carrying node's range for that
+// unit shifts by a small offset — the shape of a drift-triggered replan
+// that moves a few boundaries and leaves the rest untouched.
+func churn(plan *core.Plan, window int, epoch int, frac float64) {
+	n := len(plan.Manifests)
+	stride := int(1 / frac)
+	if stride < 1 {
+		stride = 1
+	}
+	shift := 0.01 * float64(epoch%7+1)
+	for u := epoch % stride; u < n; u += stride {
+		for w := 0; w < window; w++ {
+			j := (u - w + n*window) % n // node holding slice w of unit u
+			rs := plan.Manifests[j].Ranges[u]
+			for i := range rs {
+				width := rs[i].Hi - rs[i].Lo
+				lo := rs[i].Lo + shift
+				if lo+width > 1 {
+					lo -= 1 - width
+				}
+				rs[i] = hashing.Range{Lo: lo, Hi: lo + width}
+			}
+			plan.Manifests[j].Ranges[u] = rs
+		}
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("controlplane: ")
+	out := flag.String("o", "BENCH_controlplane.json", "output JSON path")
+	nodes := flag.Int("nodes", 1000, "cluster size (agents)")
+	regions := flag.Int("regions", 16, "region controllers")
+	window := flag.Int("window", 8, "units per node manifest")
+	epochs := flag.Int("epochs", 8, "steady-state publish epochs")
+	churnFrac := flag.Float64("churn", 0.05, "fraction of units perturbed per epoch")
+	encName := flag.String("encoding", "bin", "delta response encoding: json|bin")
+	maxSweeps := flag.Int("max-sweeps", 4, "sync sweeps allowed per epoch before declaring divergence")
+	flag.Parse()
+
+	var enc control.Encoding
+	switch *encName {
+	case "json":
+		enc = control.EncodingJSON
+	case "bin":
+		enc = control.EncodingBinary
+	default:
+		log.Fatalf("unknown encoding %q", *encName)
+	}
+
+	cores := *nodes / 40
+	if cores < 3 {
+		cores = 3
+	}
+	topo := topology.RocketfuelLike(topology.RocketfuelSpec{
+		ASN: 64512, Name: "Synth", PoPs: *nodes, Cores: cores, Seed: 424242,
+	})
+	plan := synthPlan(topo, *window)
+
+	h, err := cluster.NewHierarchy(cluster.HierarchyOptions{
+		Topo: topo, Plan: plan, Regions: *regions, HashKey: 7,
+		Deltas: true, Encoding: enc,
+		Agent: control.AgentOptions{DialTimeout: 2 * time.Second, RPCTimeout: 5 * time.Second},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+
+	// Formation: every agent's first sync is a full manifest fetch.
+	start := time.Now()
+	rep := h.SyncAll()
+	formation := time.Since(start)
+	if rep.Failed != 0 || rep.Fulls != *nodes || !h.Converged() {
+		log.Fatalf("formation round did not converge: %+v", rep)
+	}
+	res := result{
+		Nodes: *nodes, Regions: *regions, UnitsPerManifest: *window,
+		Epochs: *epochs, ChurnFrac: *churnFrac, Encoding: *encName,
+		FullBytes:   rep.Bytes,
+		FormationMs: float64(formation.Microseconds()) / 1e3,
+	}
+
+	// Steady state: churn, publish, sweep until converged.
+	var totalBytes, synced int
+	var steadyTime time.Duration
+	for e := 1; e <= *epochs; e++ {
+		churn(plan, *window, e, *churnFrac)
+		h.Publish(plan)
+		epochBytes, sweeps := 0, 0
+		t0 := time.Now()
+		for !h.Converged() {
+			if sweeps++; sweeps > *maxSweeps {
+				log.Fatalf("epoch %d did not converge in %d sweeps", e, *maxSweeps)
+			}
+			r := h.SyncAll()
+			if r.Failed != 0 {
+				log.Fatalf("epoch %d sweep %d failed agents: %+v", e, sweeps, r)
+			}
+			epochBytes += r.Bytes
+			res.DeltaSyncs += r.Deltas
+			res.FullSyncs += r.Fulls
+			synced += *nodes
+		}
+		steadyTime += time.Since(t0)
+		totalBytes += epochBytes
+		if epochBytes > res.DeltaBytesMaxEpoch {
+			res.DeltaBytesMaxEpoch = epochBytes
+		}
+		if sweeps > res.ConvergenceSweeps {
+			res.ConvergenceSweeps = sweeps
+		}
+	}
+	res.DeltaBytesPerEpoch = float64(totalBytes) / float64(*epochs)
+	res.DeltaFullRatio = res.DeltaBytesPerEpoch / float64(res.FullBytes)
+	res.SteadyEpochMs = float64(steadyTime.Microseconds()) / 1e3 / float64(*epochs)
+	res.AgentsPerSec = float64(synced) / steadyTime.Seconds()
+
+	if res.FullSyncs != 0 {
+		log.Fatalf("steady state took %d full fetches; every advance should be a delta", res.FullSyncs)
+	}
+	if res.DeltaFullRatio > 0.10 {
+		log.Fatalf("steady-state delta bytes are %.1f%% of the full baseline (limit 10%%)",
+			100*res.DeltaFullRatio)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	encJSON := json.NewEncoder(f)
+	encJSON.SetIndent("", "  ")
+	if err := encJSON.Encode(res); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d agents, %d regions: full=%dB delta/epoch=%.0fB (%.2f%%), %.0f agents/sec, wrote %s",
+		*nodes, *regions, res.FullBytes, res.DeltaBytesPerEpoch,
+		100*res.DeltaFullRatio, res.AgentsPerSec, *out)
+}

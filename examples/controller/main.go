@@ -63,7 +63,7 @@ func main() {
 	tables := make([]*conntrack.Table, topo.N())
 	for j := range agents {
 		agents[j] = control.NewAgent(ctrl.Addr(), j)
-		if _, err := agents[j].Sync(); err != nil {
+		if _, err := agents[j].Subscribe(control.SubscribeOptions{Mode: control.ModeOnce}); err != nil {
 			log.Fatal(err)
 		}
 		tables[j] = conntrack.New(conntrack.Config{
@@ -106,11 +106,13 @@ func main() {
 	ctrl.UpdatePlan(plan2)
 	refetched := 0
 	for _, a := range agents {
-		fetched, err := a.SyncIfStale()
+		// Delta subscription: the agents state the epoch they hold and
+		// receive only the changed ranges (v2 wire protocol).
+		sub, err := a.Subscribe(control.SubscribeOptions{Mode: control.ModeIfStale, Deltas: true})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if fetched {
+		if sub.Last().Changed {
 			refetched++
 		}
 	}

@@ -82,6 +82,7 @@ type NodeAgent struct {
 	node      int
 	addr      string
 	agentOpts control.AgentOptions
+	sync      control.SubscribeOptions // per-sync mode/delta/encoding knobs
 	retry     RetryPolicy
 	grace     int
 	jitter    int64 // seed for backoff jitter
@@ -98,9 +99,10 @@ type NodeAgent struct {
 	span trace.Span
 }
 
-func newNodeAgent(node int, addr string, opts control.AgentOptions, retry RetryPolicy, grace int, jitterSeed int64, trace []traffic.Session) *NodeAgent {
+func newNodeAgent(node int, addr string, opts control.AgentOptions, sync control.SubscribeOptions, retry RetryPolicy, grace int, jitterSeed int64, trace []traffic.Session) *NodeAgent {
+	sync.Mode = control.ModeIfStale
 	a := &NodeAgent{
-		node: node, addr: addr, agentOpts: opts,
+		node: node, addr: addr, agentOpts: opts, sync: sync,
 		retry: retry.withDefaults(), grace: grace,
 		jitter: jitterSeed, trace: trace,
 	}
@@ -140,10 +142,14 @@ func (a *NodeAgent) Usable() bool {
 }
 
 // syncWithRetry runs one epoch's fetch loop: up to MaxAttempts tries of
-// SyncIfStale with exponential, jittered backoff between them. It updates
-// the epoch tally and the staleness counter. Every dial consumes exactly
-// the agent's own fault stream, so the loop's outcome is a pure function
-// of (chaos seed, node id, prior history) regardless of scheduling.
+// an if-stale subscription sync with exponential, jittered backoff
+// between them. It updates the epoch tally and the staleness counter.
+// Every dial consumes exactly the agent's own fault stream, so the loop's
+// outcome is a pure function of (chaos seed, node id, prior history)
+// regardless of scheduling — which is also why the delta and encoding
+// knobs default off: the legacy probe-then-fetch exchange dials twice
+// per attempt where a delta sync dials once, and changing the per-attempt
+// draw count would shift every later fault in a seeded stream.
 func (a *NodeAgent) syncWithRetry() {
 	if a.span.Live() {
 		// Attach the epoch's fetch context to the wire so the controller
@@ -153,7 +159,7 @@ func (a *NodeAgent) syncWithRetry() {
 	}
 	for attempt := 1; attempt <= a.retry.MaxAttempts; attempt++ {
 		a.tally.attempts++
-		_, err := a.agent.SyncIfStale()
+		_, err := a.agent.Subscribe(a.sync)
 		if err == nil {
 			a.tally.synced = true
 			a.staleEpochs = 0

@@ -56,6 +56,13 @@ type ChaosConfig struct {
 	// exchanges finish in microseconds, so these only bound injected
 	// black holes).
 	Agent control.AgentOptions
+	// Deltas switches agent syncs to v2 delta subscriptions; Encoding
+	// selects their response encoding. See Options for why both default
+	// off: a delta sync draws one fault per attempt, the legacy pair two,
+	// so the knobs select between distinct (but each deterministic)
+	// seeded fault alignments.
+	Deltas   bool
+	Encoding control.Encoding
 	// Probes is the coverage probe count per unit (0 selects 2000; use
 	// 10000 to match core.CoverageUnderFailure bit for bit).
 	Probes int
@@ -145,6 +152,7 @@ func CoverageUnderChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		Topo: cfg.Topo, Modules: cfg.Modules, Sessions: sessions,
 		Redundancy: cfg.Redundancy, Seed: cfg.Seed, Faults: cfg.Faults,
 		Retry: cfg.Retry, Agent: cfg.Agent, StaleGrace: cfg.StaleGrace,
+		Deltas: cfg.Deltas, Encoding: cfg.Encoding,
 		Workers: cfg.Workers, Probes: cfg.Probes, Metrics: cfg.Metrics,
 		Trace: cfg.Trace, Watchdog: cfg.Watchdog,
 	})

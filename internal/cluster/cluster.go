@@ -57,6 +57,16 @@ type Options struct {
 	// Agent sets the agents' timeouts/metrics; its Dial, if any, becomes
 	// the real dial behind the fault injector.
 	Agent control.AgentOptions
+	// Deltas switches agent syncs to protocol-v2 delta subscriptions (one
+	// exchange per sync instead of the legacy epoch-probe-then-fetch
+	// pair); Encoding selects the response encoding for them. Both default
+	// off/JSON: a delta sync consumes one fault-stream draw per attempt
+	// where the legacy pair consumes two, so flipping the knob changes
+	// which faults a seeded chaos schedule lands on (reports remain
+	// deterministic for a given knob setting — see the cross-encoding
+	// determinism tests).
+	Deltas   bool
+	Encoding control.Encoding
 	// StaleGrace is how many consecutive failed-sync epochs an agent may
 	// keep enforcing its last manifest before going dark.
 	StaleGrace int
@@ -218,7 +228,9 @@ func New(opts Options) (*Cluster, error) {
 		dialer := &chaos.Dialer{Stream: injector.Stream(j), Next: chaos.DialFunc(opts.Agent.Dial)}
 		agentOpts.Dial = dialer.Dial
 		c.agents = append(c.agents, newNodeAgent(
-			j, ctrl.Addr(), agentOpts, opts.Retry, opts.StaleGrace,
+			j, ctrl.Addr(), agentOpts,
+			control.SubscribeOptions{Deltas: opts.Deltas, Encoding: opts.Encoding},
+			opts.Retry, opts.StaleGrace,
 			parallel.SplitSeed(opts.Seed, int64(1000+j)), nodeTrace(paths, opts.Sessions, j),
 		))
 	}

@@ -1,0 +1,324 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+
+	"nwdeploy/internal/chaos"
+	"nwdeploy/internal/control"
+	"nwdeploy/internal/core"
+	"nwdeploy/internal/obs"
+	"nwdeploy/internal/parallel"
+	"nwdeploy/internal/topology"
+)
+
+// HierarchyOptions configures a hierarchical control plane: one global
+// coordinator controller plus per-region controllers, with the planner's
+// output sharded along internal/topology region boundaries.
+type HierarchyOptions struct {
+	// Topo is the deployment substrate; its Regions partition decides
+	// which controller owns which nodes.
+	Topo *topology.Topology
+	// Plan is the solved (or synthesized) deployment plan the hierarchy
+	// publishes. Later generations arrive via Publish.
+	Plan *core.Plan
+	// Regions is the number of region controllers (values below 1 select
+	// 1; values above the node count are clamped by the partitioner).
+	Regions int
+	// HashKey keys the deployment's packet-selection hash (0 selects 7).
+	HashKey uint32
+	// DeltaHistory is each controller's retained-generation window for
+	// delta serving (0 selects the control package's default).
+	DeltaHistory int
+	// Deltas and Encoding shape the region subscriptions: delta syncs and
+	// the negotiated wire encoding. The global fallback path always uses
+	// plain full-manifest JSON fetches — the lowest-common-denominator
+	// exchange any controller can serve.
+	Deltas   bool
+	Encoding control.Encoding
+	// Agent sets per-agent timeouts/dialer/metrics.
+	Agent control.AgentOptions
+	// Metrics, when non-nil, receives controller and agent observability.
+	Metrics *obs.Registry
+	// Workers sizes SyncAll's worker pool (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+}
+
+// Hierarchy is a running two-tier control plane: region controllers under
+// a global coordinator, publishing in lockstep epochs, with one HierAgent
+// per node subscribed to its region and falling back to the global tier
+// when the region is unreachable.
+type Hierarchy struct {
+	opts     HierarchyOptions
+	regions  [][]int // region -> ascending member node IDs
+	regionOf []int   // node -> region index
+
+	global      *control.Controller
+	globalGate  *chaos.Gate
+	regional    []*control.Controller
+	regionGates []*chaos.Gate
+
+	agents []*HierAgent
+	plan   *core.Plan
+}
+
+// shardPlan narrows a plan to one region: foreign nodes keep an empty
+// manifest, so a region controller physically holds only its members'
+// assignments (ServeNodes additionally refuses to serve the rest). The
+// instance, class table, and member manifests are shared, not copied —
+// the shard is a view, and region manifests are byte-identical to the
+// global tier's for every member node.
+func shardPlan(p *core.Plan, members map[int]bool) *core.Plan {
+	out := *p
+	out.Manifests = make([]core.NodeManifest, len(p.Manifests))
+	for j, m := range p.Manifests {
+		out.Manifests[j] = core.NodeManifest{Node: m.Node}
+		if members[j] {
+			out.Manifests[j] = m
+		}
+	}
+	return &out
+}
+
+// NewHierarchy partitions the topology, starts the global and region
+// controllers (each behind a chaos gate, so tests and chaos schedules can
+// fail a tier deterministically), publishes the initial plan as epoch 1
+// everywhere, and builds one HierAgent per node. Call Close when done.
+func NewHierarchy(opts HierarchyOptions) (*Hierarchy, error) {
+	if opts.Topo == nil || opts.Plan == nil {
+		return nil, fmt.Errorf("cluster: hierarchy needs Topo and Plan")
+	}
+	if opts.Regions < 1 {
+		opts.Regions = 1
+	}
+	if opts.HashKey == 0 {
+		opts.HashKey = 7
+	}
+	n := opts.Topo.N()
+	h := &Hierarchy{opts: opts, plan: opts.Plan}
+	h.regions = opts.Topo.Regions(opts.Regions)
+	h.regionOf = make([]int, n)
+	for r, members := range h.regions {
+		for _, j := range members {
+			h.regionOf[j] = r
+		}
+	}
+
+	newCtrl := func(copts control.ControllerOptions) (*control.Controller, *chaos.Gate, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: listen: %w", err)
+		}
+		gate := chaos.NewGate(ln)
+		copts.HashKey = opts.HashKey
+		copts.Metrics = opts.Metrics
+		copts.DeltaHistory = opts.DeltaHistory
+		copts.Listener = gate
+		c, err := control.NewControllerOpts("", copts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, gate, nil
+	}
+
+	var err error
+	h.global, h.globalGate, err = newCtrl(control.ControllerOptions{})
+	if err != nil {
+		return nil, err
+	}
+	for _, members := range h.regions {
+		// Region controllers serve their members only; the sharded plan is
+		// installed by the Publish below.
+		ctrl, gate, err := newCtrl(control.ControllerOptions{ServeNodes: members})
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		h.regional = append(h.regional, ctrl)
+		h.regionGates = append(h.regionGates, gate)
+	}
+	h.Publish(opts.Plan)
+
+	for j := 0; j < n; j++ {
+		ra := control.NewAgentOpts(h.regional[h.regionOf[j]].Addr(), j, opts.Agent)
+		ga := control.NewAgentOpts(h.global.Addr(), j, opts.Agent)
+		h.agents = append(h.agents, &HierAgent{
+			node: j, region: ra, global: ga,
+			deltas: opts.Deltas, enc: opts.Encoding,
+		})
+	}
+	return h, nil
+}
+
+// Publish installs a new plan generation on the global tier and every
+// region shard. All controllers bump in lockstep, so a node's region and
+// global views always agree on the epoch numbering — the property that
+// lets an agent fail over between tiers without epoch aliasing.
+func (h *Hierarchy) Publish(plan *core.Plan) {
+	h.plan = plan
+	h.global.UpdatePlan(plan)
+	for r, members := range h.regions {
+		set := make(map[int]bool, len(members))
+		for _, j := range members {
+			set[j] = true
+		}
+		h.regional[r].UpdatePlan(shardPlan(plan, set))
+	}
+}
+
+// PublishShed records a node's governor shed state on every tier.
+// Broadcasting (rather than routing to the owning region only) keeps the
+// epoch counters lockstep across all controllers; foreign regions store a
+// shed entry they will never serve, which costs a few hundred bytes.
+func (h *Hierarchy) PublishShed(node int, shed []control.WireAssignment) {
+	h.global.PublishShed(node, shed)
+	for r := range h.regional {
+		h.regional[r].PublishShed(node, shed)
+	}
+}
+
+// Epoch returns the current lockstep configuration epoch.
+func (h *Hierarchy) Epoch() uint64 { return h.global.Epoch() }
+
+// Regions returns the region partition (ascending node IDs per region).
+func (h *Hierarchy) Regions() [][]int { return h.regions }
+
+// RegionOf returns the region index owning a node.
+func (h *Hierarchy) RegionOf(node int) int { return h.regionOf[node] }
+
+// SetRegionDown fails (or restores) one region controller's listener
+// gate: its members' region subscriptions start failing and the agents
+// fall back to global full fetches.
+func (h *Hierarchy) SetRegionDown(r int, down bool) {
+	h.regionGates[r].SetOpen(!down)
+}
+
+// SetGlobalDown fails (or restores) the global coordinator's gate.
+func (h *Hierarchy) SetGlobalDown(down bool) {
+	h.globalGate.SetOpen(!down)
+}
+
+// Agents returns the per-node hierarchical agents, indexed by node.
+func (h *Hierarchy) Agents() []*HierAgent { return h.agents }
+
+// SyncAll runs one sync round across every agent concurrently and
+// reports the outcome. Each agent touches only its own state, so the
+// round's logical outcome is schedule-independent.
+func (h *Hierarchy) SyncAll() HierSyncReport {
+	n := len(h.agents)
+	outs := parallel.Map(parallel.Resolve(h.opts.Workers, n), n, func(j int) HierSyncOutcome {
+		return h.agents[j].Sync()
+	})
+	var rep HierSyncReport
+	for _, o := range outs {
+		rep.Bytes += o.Bytes
+		if o.Err != nil {
+			rep.Failed++
+			continue
+		}
+		if o.Fallback {
+			rep.Fallbacks++
+		}
+		if o.Update.Changed {
+			rep.Changed++
+			if o.Update.Full {
+				rep.Fulls++
+			} else {
+				rep.Deltas++
+			}
+		}
+	}
+	return rep
+}
+
+// Converged reports whether every agent holds the current epoch.
+func (h *Hierarchy) Converged() bool {
+	epoch := h.Epoch()
+	for _, a := range h.agents {
+		d := a.Decider()
+		if d == nil || d.Epoch() != epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// Close shuts every controller down (gates close with their listeners).
+func (h *Hierarchy) Close() error {
+	err := h.global.Close()
+	for _, c := range h.regional {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// HierSyncOutcome is one agent's result for one sync round.
+type HierSyncOutcome struct {
+	Update   control.Update
+	Bytes    int
+	Fallback bool // region tier unreachable; served by the global tier
+	Err      error
+}
+
+// HierSyncReport aggregates one SyncAll round.
+type HierSyncReport struct {
+	Changed   int // agents that installed a new generation
+	Deltas    int // ... via a delta
+	Fulls     int // ... via a full manifest
+	Fallbacks int // agents served by the global tier this round
+	Failed    int // agents that reached no tier
+	Bytes     int // total response payload bytes across all agents
+}
+
+// HierAgent is one node's client to the hierarchical control plane: a
+// delta subscription to its region controller, with a global full-fetch
+// fallback when the region tier is unreachable. The two tiers publish in
+// lockstep, so whichever answered last holds the node's newest manifest.
+type HierAgent struct {
+	node   int
+	region *control.Agent
+	global *control.Agent
+	deltas bool
+	enc    control.Encoding
+}
+
+// Node returns the agent's node id.
+func (a *HierAgent) Node() int { return a.node }
+
+// Sync performs one refresh: a region delta exchange first, then —
+// only if the region tier is unreachable — a global full fetch.
+func (a *HierAgent) Sync() HierSyncOutcome {
+	sub, err := a.region.Subscribe(control.SubscribeOptions{
+		Mode:     control.ModeIfStale,
+		Deltas:   a.deltas,
+		Encoding: a.enc,
+	})
+	u := sub.Last()
+	if err == nil {
+		return HierSyncOutcome{Update: u, Bytes: u.WireBytes}
+	}
+	bytes := u.WireBytes
+	gsub, gerr := a.global.Subscribe(control.SubscribeOptions{Mode: control.ModeIfStale})
+	gu := gsub.Last()
+	return HierSyncOutcome{Update: gu, Bytes: bytes + gu.WireBytes, Fallback: true, Err: gerr}
+}
+
+// Decider returns the newest installed decider across both tiers (nil
+// before the first successful sync). Epochs are lockstep, so the higher
+// epoch is strictly newer; on a tie the region view wins (it is the
+// primary, and for member nodes the two tiers' manifests are identical).
+func (a *HierAgent) Decider() *control.Decider {
+	rd, gd := a.region.Decider(), a.global.Decider()
+	switch {
+	case rd == nil:
+		return gd
+	case gd == nil:
+		return rd
+	case gd.Epoch() > rd.Epoch():
+		return gd
+	default:
+		return rd
+	}
+}

@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"nwdeploy/internal/chaos"
+	"nwdeploy/internal/control"
+	"nwdeploy/internal/core"
+	"nwdeploy/internal/topology"
+	"nwdeploy/internal/traffic"
+)
+
+// hierPlan solves a small deployment plan for hierarchy tests.
+func hierPlan(t *testing.T, topo *topology.Topology, seed int64) (*core.Plan, []traffic.Session) {
+	t.Helper()
+	sessions := traffic.Generate(topo, traffic.Gravity(topo), traffic.GenConfig{Sessions: 1200, Seed: seed})
+	classes := []core.Class{
+		{Name: "signature", Scope: core.PerPath, Agg: core.BySession, CPUPerPkt: 1, MemPerItem: 400},
+		{Name: "scan", Scope: core.PerIngress, Agg: core.BySource, CPUPerPkt: 0.3, MemPerItem: 120},
+	}
+	inst, err := core.BuildInstance(topo, classes, sessions, core.UniformCaps(topo.N(), 1e7, 1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.Solve(inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, sessions
+}
+
+func newTestHierarchy(t *testing.T, plan *core.Plan, topo *topology.Topology, enc control.Encoding) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(HierarchyOptions{
+		Topo: topo, Plan: plan, Regions: 3, HashKey: 7,
+		Deltas: true, Encoding: enc,
+		Agent: control.AgentOptions{DialTimeout: 2 * time.Second, RPCTimeout: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	return h
+}
+
+// TestHierarchyConvergesViaDeltas: first round full-fetches everywhere,
+// steady-state rounds sync via deltas, and each node's hierarchical view
+// agrees verdict-for-verdict with a direct full fetch from the global
+// coordinator.
+func TestHierarchyConvergesViaDeltas(t *testing.T) {
+	topo := topology.Internet2()
+	plan, sessions := hierPlan(t, topo, 1)
+	plan2, _ := hierPlan(t, topo, 2)
+	h := newTestHierarchy(t, plan, topo, control.EncodingBinary)
+	n := topo.N()
+
+	rep := h.SyncAll()
+	if rep.Failed != 0 || rep.Changed != n || rep.Fulls != n {
+		t.Fatalf("formation round: %+v, want %d full installs", rep, n)
+	}
+	if !h.Converged() {
+		t.Fatal("cluster did not converge after formation")
+	}
+	fullBytes := rep.Bytes
+
+	// Plan change: every agent advances via a region delta.
+	h.Publish(plan2)
+	rep = h.SyncAll()
+	if rep.Failed != 0 || rep.Changed != n || rep.Deltas != n || rep.Fallbacks != 0 {
+		t.Fatalf("delta round: %+v, want %d delta installs", rep, n)
+	}
+	if !h.Converged() {
+		t.Fatal("cluster did not converge after delta round")
+	}
+	if rep.Bytes >= fullBytes {
+		t.Fatalf("delta round cost %d bytes, full formation cost %d — deltas must be cheaper",
+			rep.Bytes, fullBytes)
+	}
+
+	// Steady-state re-stamp (identical plan content): the delta exchange
+	// degenerates to near-probe cost, ≤ 10% of full-manifest bytes.
+	h.Publish(plan2)
+	rep = h.SyncAll()
+	if rep.Failed != 0 || rep.Changed != n || rep.Deltas != n {
+		t.Fatalf("steady-state round: %+v", rep)
+	}
+	if rep.Bytes*10 > fullBytes {
+		t.Fatalf("steady-state delta bytes %d exceed 10%% of full bytes %d", rep.Bytes, fullBytes)
+	}
+
+	// Verdict equality against a direct global full fetch, per node.
+	for j := 0; j < n; j++ {
+		ref := control.NewAgent(h.global.Addr(), j)
+		if _, err := ref.Subscribe(control.SubscribeOptions{Mode: control.ModeOnce}); err != nil {
+			t.Fatal(err)
+		}
+		hd, rd := h.Agents()[j].Decider(), ref.Decider()
+		for i := range sessions[:200] {
+			hm, hok := hd.DecideMask(&sessions[i])
+			rm, rok := rd.DecideMask(&sessions[i])
+			if hm != rm || hok != rok {
+				t.Fatalf("node %d session %d: hierarchy %#x/%v vs full fetch %#x/%v",
+					j, i, hm, hok, rm, rok)
+			}
+		}
+	}
+}
+
+// TestHierarchyRegionFailover: with a region controller down, its members
+// fall back to global full fetches and still converge; when the region
+// returns, they resume delta syncs against it.
+func TestHierarchyRegionFailover(t *testing.T) {
+	topo := topology.Internet2()
+	plan, _ := hierPlan(t, topo, 1)
+	h, err := NewHierarchy(HierarchyOptions{
+		Topo: topo, Plan: plan, Regions: 3, HashKey: 7, Deltas: true,
+		// Fast timeouts: the dead region's dials must fail quickly.
+		Agent: control.AgentOptions{DialTimeout: 200 * time.Millisecond, RPCTimeout: 300 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	n := topo.N()
+
+	if rep := h.SyncAll(); rep.Failed != 0 || rep.Changed != n {
+		t.Fatalf("formation round: %+v", rep)
+	}
+
+	down := 0
+	members := len(h.Regions()[down])
+	h.SetRegionDown(down, true)
+	h.Publish(plan)
+	rep := h.SyncAll()
+	if rep.Failed != 0 {
+		t.Fatalf("failover round failed agents: %+v", rep)
+	}
+	if rep.Fallbacks != members {
+		t.Fatalf("failover round: %d fallbacks, want %d (region %d members)", rep.Fallbacks, members, down)
+	}
+	if rep.Changed != n {
+		t.Fatalf("failover round: %d changed, want %d", rep.Changed, n)
+	}
+	if !h.Converged() {
+		t.Fatal("cluster did not converge through region failover")
+	}
+
+	// Region restored: everyone back on the delta path.
+	h.SetRegionDown(down, false)
+	h.Publish(plan)
+	rep = h.SyncAll()
+	if rep.Failed != 0 || rep.Fallbacks != 0 || rep.Changed != n {
+		t.Fatalf("recovery round: %+v", rep)
+	}
+	if !h.Converged() {
+		t.Fatal("cluster did not converge after region recovery")
+	}
+}
+
+// TestHierarchySyncDeterministic: the logical outcome of a scripted
+// publish/failover schedule is identical across runs, worker counts, and
+// wire encodings — bytes may differ between encodings (that is the
+// point), but every logical field must match.
+func TestHierarchySyncDeterministic(t *testing.T) {
+	topo := topology.Internet2()
+	plan, _ := hierPlan(t, topo, 1)
+	plan2, _ := hierPlan(t, topo, 2)
+
+	type logical struct {
+		Changed, Deltas, Fulls, Fallbacks, Failed int
+	}
+	run := func(enc control.Encoding, workers int) ([]logical, []int) {
+		h, err := NewHierarchy(HierarchyOptions{
+			Topo: topo, Plan: plan, Regions: 3, HashKey: 7,
+			Deltas: true, Encoding: enc, Workers: workers,
+			Agent: control.AgentOptions{DialTimeout: 200 * time.Millisecond, RPCTimeout: 300 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Close()
+		var log []logical
+		var bytes []int
+		step := func() {
+			rep := h.SyncAll()
+			log = append(log, logical{rep.Changed, rep.Deltas, rep.Fulls, rep.Fallbacks, rep.Failed})
+			bytes = append(bytes, rep.Bytes)
+		}
+		step()
+		h.Publish(plan2)
+		step()
+		h.SetRegionDown(1, true)
+		h.Publish(plan)
+		step()
+		h.SetRegionDown(1, false)
+		h.Publish(plan2)
+		step()
+		return log, bytes
+	}
+
+	jsonLog, jsonBytes := run(control.EncodingJSON, 0)
+	jsonLog2, jsonBytes2 := run(control.EncodingJSON, 1)
+	binLog, _ := run(control.EncodingBinary, 0)
+
+	if !reflect.DeepEqual(jsonLog, jsonLog2) {
+		t.Fatalf("same-encoding runs diverge logically:\n%v\n%v", jsonLog, jsonLog2)
+	}
+	if !reflect.DeepEqual(jsonBytes, jsonBytes2) {
+		t.Fatalf("same-encoding runs diverge in wire bytes:\n%v\n%v", jsonBytes, jsonBytes2)
+	}
+	if !reflect.DeepEqual(jsonLog, binLog) {
+		t.Fatalf("encodings diverge logically:\njson: %v\nbin:  %v", jsonLog, binLog)
+	}
+}
+
+// TestChaosDeterministicWithDeltas extends the headline same-seed
+// determinism guarantee to the delta protocol: with agents syncing via
+// v2 delta subscriptions — in both encodings — two same-seed chaos runs
+// still produce DeepEqual reports.
+func TestChaosDeterministicWithDeltas(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		enc  control.Encoding
+	}{
+		{"json", control.EncodingJSON},
+		{"bin", control.EncodingBinary},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mk := func(workers int) ChaosConfig {
+				cfg := ChaosConfig{
+					Sessions: 400, Epochs: 3, Seed: 31,
+					Faults:       chaos.NetworkFaults{DropProb: 0.25, BlackholeProb: 0.1},
+					NodeFailProb: 0.2, ControllerOutageProb: 0.25, MaxDown: 2,
+					Retry:  RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, JitterFrac: 0.3},
+					Agent:  control.AgentOptions{DialTimeout: 100 * time.Millisecond, RPCTimeout: 100 * time.Millisecond},
+					Probes: 300, Workers: workers,
+					Deltas: true, Encoding: tc.enc,
+				}
+				return cfg
+			}
+			r1, err := CoverageUnderChaos(mk(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := CoverageUnderChaos(mk(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r1, r2) {
+				t.Fatalf("same-seed delta chaos runs diverge:\nrun1: %+v\nrun2: %+v", r1, r2)
+			}
+			sawFault := false
+			for _, e := range r1.Epochs {
+				if e.ControllerDown || len(e.DownNodes) > 0 || e.FetchFailures > 0 {
+					sawFault = true
+				}
+			}
+			if !sawFault {
+				t.Fatal("chaos run exercised no faults; determinism claim is vacuous")
+			}
+		})
+	}
+}

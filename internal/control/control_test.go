@@ -201,7 +201,7 @@ func TestControllerMalformedRequests(t *testing.T) {
 
 	// Unknown op.
 	a := NewAgent(ctrl.Addr(), 0)
-	if _, err := a.roundTrip(request{Op: "bogus"}); err == nil {
+	if _, _, err := a.roundTrip(request{Op: "bogus"}); err == nil {
 		t.Fatal("expected error for unknown op")
 	}
 	// Out-of-range node.
@@ -288,7 +288,7 @@ func TestControllerErrorPathCounters(t *testing.T) {
 	ctrl.UpdatePlan(plan)
 
 	// Unknown op.
-	if _, err := a.roundTrip(request{Op: "bogus"}); err == nil {
+	if _, _, err := a.roundTrip(request{Op: "bogus"}); err == nil {
 		t.Fatal("expected error for unknown op")
 	}
 	if got := waitCounter(t, badReqC, 1); got != 1 {

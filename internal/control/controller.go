@@ -14,15 +14,38 @@ import (
 	"nwdeploy/internal/obs"
 )
 
-// The protocol is one JSON request line and one JSON response line per TCP
-// connection — deliberately simple: manifests are small, fetches are
-// periodic (the paper's re-optimization cadence is minutes), and a
-// connectionless-style exchange avoids any session state to mismanage.
+// The protocol is one JSON request line per TCP connection and one
+// response — deliberately simple: fetches are periodic (the paper's
+// re-optimization cadence is minutes), and a connectionless-style exchange
+// avoids any session state to mismanage. Version 1 answers with one JSON
+// line carrying a full manifest. Version 2 (the hierarchical control
+// plane's protocol) adds the "delta" op — the agent states the epoch it
+// holds and receives only the changed ranges — and a negotiated compact
+// binary response framing; every v2 request that an old controller cannot
+// serve degrades to a v1 exchange, and every v1 request is served exactly
+// as before, byte for byte.
+
+// ProtocolV2 is the versioned wire protocol introduced with the delta
+// control plane. Requests carry it in "v"; responses echo it so agents can
+// confirm the handshake. Version 0/absent is the original full-manifest
+// JSON protocol.
+const ProtocolV2 = 2
+
+// EncBin is the request "enc" value selecting the compact binary response
+// framing (v2 only). The empty value selects golden JSON.
+const EncBin = "bin"
 
 // request is the agent->controller message.
 type request struct {
-	Op   string `json:"op"`   // "epoch" | "manifest"
-	Node int    `json:"node"` // for "manifest"
+	Op   string `json:"op"`   // "epoch" | "manifest" | "delta" (v2)
+	Node int    `json:"node"` // for "manifest" and "delta"
+	// V is the sender's protocol version (omitted = v1); Enc selects the
+	// response encoding ("" = JSON, "bin" = binary frame); Have is the
+	// manifest epoch the agent holds, the delta base. All omitempty, so
+	// v1 requests keep their historical byte encoding.
+	V    int    `json:"v,omitempty"`
+	Enc  string `json:"enc,omitempty"`
+	Have uint64 `json:"have,omitempty"`
 	// Trace is the caller's trace context (nil when untraced); omitempty
 	// keeps the base request encoding stable for pre-trace controllers.
 	Trace *WireTrace `json:"trace,omitempty"`
@@ -32,7 +55,12 @@ type request struct {
 type response struct {
 	Epoch    uint64    `json:"epoch"`
 	Manifest *Manifest `json:"manifest,omitempty"`
-	Err      string    `json:"err,omitempty"`
+	// V and Delta are the v2 additions: the echoed protocol version and
+	// the delta body of a "delta" answer. Omitempty keeps v1 responses
+	// byte-identical to the pre-delta wire format.
+	V     int        `json:"v,omitempty"`
+	Delta *WireDelta `json:"delta,omitempty"`
+	Err   string     `json:"err,omitempty"`
 }
 
 // ControllerOptions configures a Controller beyond its listen address.
@@ -51,6 +79,28 @@ type ControllerOptions struct {
 	// ownership and closes it on Close. This is the seam fault-injecting
 	// wrappers such as chaos.Gate interpose at.
 	Listener net.Listener
+	// DeltaHistory is how many past configuration generations the
+	// controller retains for serving deltas (0 selects 8; negative
+	// disables delta serving — every "delta" request falls back to a full
+	// manifest). An agent whose held epoch has aged out of the window
+	// receives a full manifest, the documented epoch-gap fallback.
+	DeltaHistory int
+	// ServeNodes, when non-nil, restricts manifest and delta serving to
+	// the listed nodes — the region-controller configuration, where each
+	// regional tier publishes only its members' manifests and any other
+	// node is told to fetch from the global tier.
+	ServeNodes []int
+}
+
+// generation is one retained configuration snapshot: everything needed to
+// rebuild the manifest any node was served at that epoch, so a delta from
+// it to the present can be computed on demand. Entries are immutable once
+// appended; serve goroutines read them without holding the lock.
+type generation struct {
+	epoch uint64
+	plan  *core.Plan
+	shed  map[int][]WireAssignment
+	trace *WireTrace
 }
 
 // maxRequestLine bounds the one-line request read. Real requests are tens
@@ -62,12 +112,15 @@ const maxRequestLine = 64 << 10
 // Safe for concurrent use; UpdatePlan may be called while agents fetch.
 type Controller struct {
 	hashKey uint32
+	histCap int
+	serves  map[int]bool // nil = serve every node
 
 	mu    sync.RWMutex
 	plan  *core.Plan
 	epoch uint64
 	shed  map[int][]WireAssignment // per-node governor shed state
 	trace *WireTrace               // context stamped on served manifests
+	hist  []generation             // retained generations, oldest first
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -76,6 +129,7 @@ type Controller struct {
 	// Metric handles resolved at construction; nil-safe no-ops when no
 	// registry was configured.
 	epochReqC, manifestReqC, badReqC, manifestErrC, planUpdateC, shedUpdateC, tracedReqC *obs.Counter
+	deltaReqC, deltaServedC, deltaFullC                                                  *obs.Counter
 	epochG                                                                               *obs.Gauge
 }
 
@@ -97,8 +151,23 @@ func NewControllerOpts(addr string, opts ControllerOptions) (*Controller, error)
 			return nil, fmt.Errorf("control: listen: %w", err)
 		}
 	}
+	histCap := opts.DeltaHistory
+	if histCap == 0 {
+		histCap = 8
+	}
+	if histCap < 0 {
+		histCap = 0
+	}
+	var serves map[int]bool
+	if opts.ServeNodes != nil {
+		serves = make(map[int]bool, len(opts.ServeNodes))
+		for _, j := range opts.ServeNodes {
+			serves[j] = true
+		}
+	}
 	c := &Controller{
-		hashKey: opts.HashKey, ln: ln, closed: make(chan struct{}),
+		hashKey: opts.HashKey, histCap: histCap, serves: serves,
+		ln: ln, closed: make(chan struct{}),
 
 		epochReqC:    opts.Metrics.Counter("control.requests_epoch"),
 		manifestReqC: opts.Metrics.Counter("control.requests_manifest"),
@@ -107,6 +176,9 @@ func NewControllerOpts(addr string, opts ControllerOptions) (*Controller, error)
 		planUpdateC:  opts.Metrics.Counter("control.plan_updates"),
 		shedUpdateC:  opts.Metrics.Counter("control.shed_updates"),
 		tracedReqC:   opts.Metrics.Counter("control.requests_traced"),
+		deltaReqC:    opts.Metrics.Counter("control.requests_delta"),
+		deltaServedC: opts.Metrics.Counter("control.deltas_served"),
+		deltaFullC:   opts.Metrics.Counter("control.delta_full_fallbacks"),
 		epochG:       opts.Metrics.Gauge("control.epoch"),
 	}
 	c.wg.Add(1)
@@ -134,8 +206,26 @@ func (c *Controller) UpdatePlan(plan *core.Plan) {
 	c.plan = plan
 	c.shed = nil
 	c.epoch++
+	c.snapshotLocked()
 	c.planUpdateC.Add(1)
 	c.epochG.Set(float64(c.epoch))
+}
+
+// snapshotLocked retains the just-published generation for delta serving,
+// aging out the oldest entry past the history cap. Must be called with
+// c.mu held after the epoch bump.
+func (c *Controller) snapshotLocked() {
+	if c.histCap <= 0 {
+		return
+	}
+	shed := make(map[int][]WireAssignment, len(c.shed))
+	for j, s := range c.shed {
+		shed[j] = s
+	}
+	c.hist = append(c.hist, generation{epoch: c.epoch, plan: c.plan, shed: shed, trace: c.trace})
+	if len(c.hist) > c.histCap {
+		c.hist = append([]generation(nil), c.hist[len(c.hist)-c.histCap:]...)
+	}
 }
 
 // SetTrace installs the trace context stamped on every manifest served
@@ -169,6 +259,7 @@ func (c *Controller) PublishShed(node int, shed []WireAssignment) {
 		c.shed[node] = shed
 	}
 	c.epoch++
+	c.snapshotLocked()
 	c.shedUpdateC.Add(1)
 	c.epochG.Set(float64(c.epoch))
 }
@@ -235,35 +326,143 @@ func (c *Controller) serve(conn net.Conn) {
 	plan, epoch := c.plan, c.epoch
 	shed := c.shed[req.Node]
 	wt := c.trace
+	hist := c.hist
 	c.mu.RUnlock()
+
+	// reply completes the v2 handshake (echoing the protocol version) and
+	// honors the negotiated encoding; v1 requests get the historical JSON
+	// line byte for byte.
+	reply := func(resp response) {
+		if req.V >= ProtocolV2 {
+			resp.V = ProtocolV2
+			if req.Enc == EncBin {
+				_, _ = conn.Write(frameBinary(encodeBinaryResponse(&resp)))
+				return
+			}
+		}
+		_ = enc.Encode(resp)
+	}
+
+	// fullManifest builds the node's current manifest, shared by the
+	// "manifest" op and every delta fallback.
+	fullManifest := func() (*Manifest, error) {
+		m, err := ManifestFromPlan(plan, req.Node, epoch, c.hashKey)
+		if err != nil {
+			return nil, err
+		}
+		m.Shed = shed
+		m.Trace = wt
+		return m, nil
+	}
 
 	if req.Trace != nil {
 		c.tracedReqC.Add(1)
 	}
+	if c.serves != nil && (req.Op == "manifest" || req.Op == "delta") && !c.serves[req.Node] {
+		c.badReqC.Add(1)
+		reply(response{Epoch: epoch, Err: fmt.Sprintf("node %d not served by this controller", req.Node)})
+		return
+	}
 	switch req.Op {
 	case "epoch":
 		c.epochReqC.Add(1)
-		_ = enc.Encode(response{Epoch: epoch})
+		reply(response{Epoch: epoch})
 	case "manifest":
 		c.manifestReqC.Add(1)
 		if plan == nil {
 			c.manifestErrC.Add(1)
-			_ = enc.Encode(response{Epoch: epoch, Err: "no plan installed"})
+			reply(response{Epoch: epoch, Err: "no plan installed"})
 			return
 		}
-		m, err := ManifestFromPlan(plan, req.Node, epoch, c.hashKey)
+		m, err := fullManifest()
 		if err != nil {
 			c.manifestErrC.Add(1)
-			_ = enc.Encode(response{Epoch: epoch, Err: err.Error()})
+			reply(response{Epoch: epoch, Err: err.Error()})
 			return
 		}
-		m.Shed = shed
-		m.Trace = wt
-		_ = enc.Encode(response{Epoch: epoch, Manifest: m})
+		reply(response{Epoch: epoch, Manifest: m})
+	case "delta":
+		c.deltaReqC.Add(1)
+		if req.V < ProtocolV2 {
+			c.badReqC.Add(1)
+			reply(response{Epoch: epoch, Err: "op delta requires protocol v2"})
+			return
+		}
+		if plan == nil {
+			c.manifestErrC.Add(1)
+			reply(response{Epoch: epoch, Err: "no plan installed"})
+			return
+		}
+		if req.Have == epoch {
+			// Up to date: the delta exchange doubles as the epoch probe.
+			reply(response{Epoch: epoch})
+			return
+		}
+		if d := c.deltaFrom(hist, req.Have, req.Node, wt); d != nil {
+			c.deltaServedC.Add(1)
+			reply(response{Epoch: epoch, Delta: d})
+			return
+		}
+		// Epoch gap (base aged out of history), hash-key or class-table
+		// change, or delta serving disabled: full-manifest fallback.
+		c.deltaFullC.Add(1)
+		m, err := fullManifest()
+		if err != nil {
+			c.manifestErrC.Add(1)
+			reply(response{Epoch: epoch, Err: err.Error()})
+			return
+		}
+		reply(response{Epoch: epoch, Manifest: m})
 	default:
 		c.badReqC.Add(1)
-		_ = enc.Encode(response{Epoch: epoch, Err: fmt.Sprintf("unknown op %q", req.Op)})
+		reply(response{Epoch: epoch, Err: fmt.Sprintf("unknown op %q", req.Op)})
 	}
+}
+
+// deltaFrom computes the delta rewriting the manifest the node held at
+// epoch have into the current one, or nil when it cannot (base epoch aged
+// out of the retained window, class table or hash key changed). hist is an
+// immutable snapshot; the current generation is its last entry.
+func (c *Controller) deltaFrom(hist []generation, have uint64, node int, wt *WireTrace) *WireDelta {
+	if len(hist) == 0 {
+		return nil
+	}
+	var base *generation
+	for i := range hist {
+		if hist[i].epoch == have {
+			base = &hist[i]
+			break
+		}
+	}
+	if base == nil {
+		return nil
+	}
+	oldM, err := c.manifestFor(*base, node)
+	if err != nil {
+		return nil
+	}
+	newM, err := c.manifestFor(hist[len(hist)-1], node)
+	if err != nil {
+		return nil
+	}
+	newM.Trace = wt
+	d, ok := DiffManifests(oldM, newM)
+	if !ok {
+		return nil
+	}
+	return d
+}
+
+// manifestFor rebuilds the manifest a node was served at a retained
+// generation.
+func (c *Controller) manifestFor(g generation, node int) (*Manifest, error) {
+	m, err := ManifestFromPlan(g.plan, node, g.epoch, c.hashKey)
+	if err != nil {
+		return nil, err
+	}
+	m.Shed = g.shed[node]
+	m.Trace = g.trace
+	return m, nil
 }
 
 // DialFunc matches net.DialTimeout's shape: the transport seam fault
@@ -285,18 +484,31 @@ type AgentOptions struct {
 	Metrics *obs.Registry
 }
 
+// Agent protocol states, latched by the first v2 exchange.
+const (
+	protoUnknown int32 = iota // no v2 exchange attempted yet
+	protoLegacy               // controller rejected v2; full JSON fetches only
+	protoV2                   // controller confirmed v2
+)
+
 // Agent is a node's client to the controller. It caches the last fetched
-// manifest and exposes a Decider for the data path.
+// manifest and exposes a Decider for the data path. Refreshing goes
+// through Subscribe (or the deprecated Sync/SyncIfStale/Watch wrappers,
+// which delegate to it).
 type Agent struct {
 	addr string
 	node int
 	opts AgentOptions
 
-	mu      sync.RWMutex
-	decider *Decider
-	trace   *WireTrace // context attached to outgoing requests
+	mu       sync.RWMutex
+	decider  *Decider
+	manifest *Manifest  // the installed manifest: the delta base
+	trace    *WireTrace // context attached to outgoing requests
+	proto    int32      // protoUnknown | protoLegacy | protoV2
 
-	reqC, errC, timeoutC *obs.Counter
+	reqC, errC, timeoutC      *obs.Counter
+	deltaC, fullC, downgradeC *obs.Counter
+	rxBytesC                  *obs.Counter
 }
 
 // NewAgent creates an agent for node with default timeouts; it holds no
@@ -320,9 +532,13 @@ func NewAgentOpts(addr string, node int, opts AgentOptions) *Agent {
 	}
 	return &Agent{
 		addr: addr, node: node, opts: opts,
-		reqC:     opts.Metrics.Counter("control.agent_requests"),
-		errC:     opts.Metrics.Counter("control.agent_errors"),
-		timeoutC: opts.Metrics.Counter("control.agent_timeouts"),
+		reqC:       opts.Metrics.Counter("control.agent_requests"),
+		errC:       opts.Metrics.Counter("control.agent_errors"),
+		timeoutC:   opts.Metrics.Counter("control.agent_timeouts"),
+		deltaC:     opts.Metrics.Counter("control.agent_delta_syncs"),
+		fullC:      opts.Metrics.Counter("control.agent_full_syncs"),
+		downgradeC: opts.Metrics.Counter("control.agent_downgrades"),
+		rxBytesC:   opts.Metrics.Counter("control.agent_rx_bytes"),
 	}
 }
 
@@ -335,13 +551,16 @@ func (a *Agent) SetTrace(wt *WireTrace) {
 	a.trace = wt
 }
 
-// roundTrip sends one request and decodes one response.
-func (a *Agent) roundTrip(req request) (*response, error) {
+// roundTrip sends one request and decodes one response, reporting the
+// response payload size in bytes (the wire-cost figure the control-plane
+// benchmark aggregates).
+func (a *Agent) roundTrip(req request) (*response, int, error) {
 	a.mu.RLock()
 	req.Trace = a.trace
 	a.mu.RUnlock()
 	a.reqC.Add(1)
-	resp, err := a.exchange(req)
+	resp, n, err := a.exchange(req)
+	a.rxBytesC.Add(int64(n))
 	if err != nil {
 		a.errC.Add(1)
 		var ne net.Error
@@ -349,108 +568,111 @@ func (a *Agent) roundTrip(req request) (*response, error) {
 			a.timeoutC.Add(1)
 		}
 	}
-	return resp, err
+	return resp, n, err
 }
 
-func (a *Agent) exchange(req request) (*response, error) {
+func (a *Agent) exchange(req request) (*response, int, error) {
 	conn, err := a.opts.Dial("tcp", a.addr, a.opts.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("control: dial %s: %w", a.addr, err)
+		return nil, 0, fmt.Errorf("control: dial %s: %w", a.addr, err)
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(a.opts.RPCTimeout))
 
 	enc := json.NewEncoder(conn)
 	if err := enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("control: send: %w", err)
+		return nil, 0, fmt.Errorf("control: send: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	if req.V >= ProtocolV2 && req.Enc == EncBin {
+		// A binary frame starts with the high length byte, always 0x00;
+		// a legacy JSON response (a controller that ignored the enc
+		// field) starts with '{'. Peek to disambiguate.
+		head, err := br.Peek(1)
+		if err != nil {
+			return nil, 0, fmt.Errorf("control: decode: %w", err)
+		}
+		if head[0] == 0 {
+			return a.readBinaryResponse(br)
+		}
 	}
 	var resp response
-	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
-		return nil, fmt.Errorf("control: decode: %w", err)
+	cr := &countingReader{r: br}
+	if err := json.NewDecoder(cr).Decode(&resp); err != nil {
+		return nil, cr.n, fmt.Errorf("control: decode: %w", err)
 	}
 	if resp.Err != "" {
-		return &resp, errors.New("control: " + resp.Err)
+		return &resp, cr.n, errors.New("control: " + resp.Err)
 	}
-	return &resp, nil
+	return &resp, cr.n, nil
+}
+
+// readBinaryResponse consumes one length-framed binary response.
+func (a *Agent) readBinaryResponse(br *bufio.Reader) (*response, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("control: decode: %w", err)
+	}
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n > maxBinFrame {
+		return nil, 4, fmt.Errorf("control: binary frame of %d bytes exceeds cap", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, 4, fmt.Errorf("control: decode: %w", err)
+	}
+	resp, err := decodeBinaryResponse(payload)
+	if err != nil {
+		return nil, 4 + n, err
+	}
+	if resp.Err != "" {
+		return resp, 4 + n, errors.New("control: " + resp.Err)
+	}
+	return resp, 4 + n, nil
+}
+
+// countingReader counts bytes consumed by the JSON decoder.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
 }
 
 // RemoteEpoch asks the controller for its current configuration epoch.
 func (a *Agent) RemoteEpoch() (uint64, error) {
-	resp, err := a.roundTrip(request{Op: "epoch"})
+	resp, _, err := a.roundTrip(request{Op: "epoch"})
 	if err != nil {
 		return 0, err
 	}
 	return resp.Epoch, nil
 }
 
-// Sync fetches the node's manifest and installs a fresh decider. It
-// returns the manifest epoch.
-func (a *Agent) Sync() (uint64, error) {
-	resp, err := a.roundTrip(request{Op: "manifest", Node: a.node})
-	if err != nil {
-		return 0, err
-	}
-	if resp.Manifest == nil {
-		return resp.Epoch, errors.New("control: empty manifest in response")
-	}
-	d := NewDecider(resp.Manifest)
+// install publishes a fetched manifest to the data path.
+func (a *Agent) install(m *Manifest) {
+	d := NewDecider(m)
 	a.mu.Lock()
 	a.decider = d
+	a.manifest = m
 	a.mu.Unlock()
-	return resp.Epoch, nil
 }
 
-// SyncIfStale fetches only when the controller's epoch differs from the
-// locally installed one — the periodic poll a node runs between the
-// paper's re-optimization rounds. It reports whether a fetch happened.
-func (a *Agent) SyncIfStale() (bool, error) {
-	remote, err := a.RemoteEpoch()
-	if err != nil {
-		return false, err
-	}
-	if d := a.Decider(); d != nil && d.Epoch() == remote {
-		return false, nil
-	}
-	if _, err := a.Sync(); err != nil {
-		return false, err
-	}
-	return true, nil
-}
-
-// Decider returns the currently installed decider (nil before first Sync).
+// Decider returns the currently installed decider (nil before the first
+// successful subscription sync).
 func (a *Agent) Decider() *Decider {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	return a.decider
 }
 
-// Watch polls the controller every interval and resyncs whenever the
-// configuration epoch changes — the periodic refresh loop a node runs
-// between the operations center's re-optimizations. Each newly installed
-// epoch is delivered on the returned channel; transient fetch errors are
-// retried on the next tick. Watch returns when stop is closed, closing the
-// channel.
-func (a *Agent) Watch(interval time.Duration, stop <-chan struct{}) <-chan uint64 {
-	updates := make(chan uint64, 4)
-	go func() {
-		defer close(updates)
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-ticker.C:
-				fetched, err := a.SyncIfStale()
-				if err != nil || !fetched {
-					continue
-				}
-				select {
-				case updates <- a.Decider().Epoch():
-				default: // consumer lagging; epoch is observable via Decider
-				}
-			}
-		}
-	}()
-	return updates
+// Manifest returns the currently installed wire manifest (nil before the
+// first successful sync) — the base the next delta applies to.
+func (a *Agent) Manifest() *Manifest {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.manifest
 }

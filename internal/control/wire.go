@@ -101,7 +101,11 @@ func ShedFromRanges(plan *core.Plan, shed map[int]hashing.RangeSet) []WireAssign
 }
 
 // ManifestFromPlan extracts node j's manifest from a solved plan, stamped
-// with the given epoch and hash key.
+// with the given epoch and hash key. Assignments are emitted in ascending
+// unit-index order, so the wire encoding of a given plan is deterministic
+// — the property the delta protocol's byte-level fixtures and the
+// same-seed determinism tests rely on (the manifest's Ranges field is a
+// map, whose iteration order would otherwise leak into the wire bytes).
 func ManifestFromPlan(plan *core.Plan, node int, epoch uint64, hashKey uint32) (*Manifest, error) {
 	if node < 0 || node >= len(plan.Manifests) {
 		return nil, fmt.Errorf("control: node %d out of range", node)
@@ -116,10 +120,16 @@ func ManifestFromPlan(plan *core.Plan, node int, epoch uint64, hashKey uint32) (
 			Transport: c.Transport,
 		})
 	}
-	for ui, rs := range plan.Manifests[node].Ranges {
+	ranges := plan.Manifests[node].Ranges
+	units := make([]int, 0, len(ranges))
+	for ui := range ranges {
+		units = append(units, ui)
+	}
+	sort.Ints(units)
+	for _, ui := range units {
 		u := plan.Inst.Units[ui]
 		wa := WireAssignment{Class: u.Class, Unit: u.Key}
-		for _, r := range rs {
+		for _, r := range ranges[ui] {
 			if r.Width() > 0 {
 				wa.Ranges = append(wa.Ranges, WireRange{Lo: r.Lo, Hi: r.Hi})
 			}

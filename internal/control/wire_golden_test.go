@@ -1,6 +1,7 @@
 package control
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"reflect"
 	"testing"
@@ -111,5 +112,146 @@ func TestManifestDecodesWithoutTraceField(t *testing.T) {
 	}
 	if m.Node != 2 || m.Epoch != 9 || len(m.Assignments) != 1 {
 		t.Fatalf("pre-trace manifest fields lost: %+v", m)
+	}
+}
+
+// TestDeltaWireFormatGolden pins the JSON wire form of a WireDelta — the
+// v2 protocol's incremental payload. Like the manifest golden above, any
+// drift in field names or omitempty behavior is a protocol break.
+func TestDeltaWireFormatGolden(t *testing.T) {
+	d := &WireDelta{
+		Node:      3,
+		BaseEpoch: 17,
+		Epoch:     18,
+		Added:     []WireAssignment{{Class: 0, Unit: [2]int{2, 5}, Ranges: []WireRange{{Lo: 0.25, Hi: 0.5}}}},
+		Removed:   []WireAssignment{{Class: 1, Unit: [2]int{4, -1}, Ranges: []WireRange{{Lo: 0.25, Hi: 0.375}}}},
+	}
+
+	const golden = `{"node":3,"base_epoch":17,"epoch":18,` +
+		`"added":[{"class":0,"unit":[2,5],"ranges":[{"lo":0.25,"hi":0.5}]}],` +
+		`"removed":[{"class":1,"unit":[4,-1],"ranges":[{"lo":0.25,"hi":0.375}]}]}`
+
+	got, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != golden {
+		t.Fatalf("delta wire format drifted:\n got: %s\nwant: %s", got, golden)
+	}
+	var back WireDelta
+	if err := json.Unmarshal([]byte(golden), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, d) {
+		t.Fatalf("round trip mismatch:\n got: %+v\nwant: %+v", &back, d)
+	}
+}
+
+// TestRequestResponseV1Golden pins the v1 exchange byte-for-byte: the v2
+// fields (v, enc, have, delta) are all omitempty, so a v1 agent's request
+// and a controller's v1 answer must encode exactly as they did before the
+// versioned protocol existed. This is the compatibility contract that
+// lets old and new peers interoperate without negotiation.
+func TestRequestResponseV1Golden(t *testing.T) {
+	reqGot, err := json.Marshal(request{Op: "manifest", Node: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"op":"manifest","node":3}`; string(reqGot) != want {
+		t.Fatalf("v1 request drifted:\n got: %s\nwant: %s", reqGot, want)
+	}
+	respGot, err := json.Marshal(response{Epoch: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"epoch":9}`; string(respGot) != want {
+		t.Fatalf("v1 response drifted:\n got: %s\nwant: %s", respGot, want)
+	}
+	// And the v2 request shape, equally pinned so controllers can rely on
+	// the field names.
+	req2Got, err := json.Marshal(request{Op: "delta", Node: 3, V: 2, Enc: "bin", Have: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"op":"delta","node":3,"v":2,"enc":"bin","have":17}`; string(req2Got) != want {
+		t.Fatalf("v2 request drifted:\n got: %s\nwant: %s", req2Got, want)
+	}
+}
+
+// TestManifestBinaryGolden pins the compact binary encoding of the same
+// manifest the JSON golden uses. The byte layout is the v2 "enc":"bin"
+// wire contract.
+func TestManifestBinaryGolden(t *testing.T) {
+	m := &Manifest{
+		Node:    3,
+		Epoch:   17,
+		HashKey: 0xbeef,
+		Classes: []WireClass{
+			{Name: "signature"},
+			{Name: "http", Scope: 1, Agg: 2, Ports: []uint16{80, 8080}, Transport: 6},
+		},
+		Assignments: []WireAssignment{
+			{Class: 0, Unit: [2]int{2, 5}, Ranges: []WireRange{{Lo: 0, Hi: 0.25}, {Lo: 0.75, Hi: 1}}},
+			{Class: 1, Unit: [2]int{4, -1}, Ranges: []WireRange{{Lo: 0.25, Hi: 0.5}}},
+		},
+	}
+	const golden = "0611effd0202097369676e617475726500000000046874747002040250903f0602000" +
+		"40a020000000000000000000000000000d03f000000000000e83f000000000000f03f0208010" +
+		"1000000000000d03f000000000000e03f0000"
+	got := hex.EncodeToString(AppendManifestBinary(nil, m))
+	if got != golden {
+		t.Fatalf("binary manifest encoding drifted:\n got: %s\nwant: %s", got, golden)
+	}
+	raw, _ := hex.DecodeString(golden)
+	back, err := DecodeManifestBinary(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, m) {
+		t.Fatalf("binary round trip mismatch:\n got: %+v\nwant: %+v", back, m)
+	}
+}
+
+// TestDeltaBinaryGolden pins the compact binary encoding of a delta,
+// including the shed-replacement flag and trace context.
+func TestDeltaBinaryGolden(t *testing.T) {
+	d := &WireDelta{
+		Node: 3, BaseEpoch: 17, Epoch: 18,
+		Added:       []WireAssignment{{Class: 0, Unit: [2]int{2, 5}, Ranges: []WireRange{{Lo: 0.25, Hi: 0.5}}}},
+		Removed:     []WireAssignment{{Class: 1, Unit: [2]int{4, -1}, Ranges: []WireRange{{Lo: 0.25, Hi: 0.375}}}},
+		ShedChanged: true,
+		Shed:        []WireAssignment{{Class: 0, Unit: [2]int{2, 5}, Ranges: []WireRange{{Lo: 0.9, Hi: 1}}}},
+		Trace:       &WireTrace{Trace: "00000000deadbeef", Span: "00000000cafef00d"},
+	}
+	const golden = "0611120100040a01000000000000d03f000000000000e03f0102080101000000000000d03f0" +
+		"00000000000d83f010100040a01cdccccccccccec3f000000000000f03f011030303030303030" +
+		"3064656164626565661030303030303030306361666566303064"
+	got := hex.EncodeToString(AppendDeltaBinary(nil, d))
+	if got != golden {
+		t.Fatalf("binary delta encoding drifted:\n got: %s\nwant: %s", got, golden)
+	}
+	raw, _ := hex.DecodeString(golden)
+	back, err := DecodeDeltaBinary(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, d) {
+		t.Fatalf("binary round trip mismatch:\n got: %+v\nwant: %+v", back, d)
+	}
+}
+
+// TestBinaryResponseTruncation: every truncation of a valid binary
+// payload must fail cleanly, never panic or mis-decode.
+func TestBinaryResponseTruncation(t *testing.T) {
+	m := &Manifest{
+		Node: 1, Epoch: 2, HashKey: 3,
+		Classes:     []WireClass{{Name: "x", Ports: []uint16{80}}},
+		Assignments: []WireAssignment{{Class: 0, Unit: [2]int{0, -1}, Ranges: []WireRange{{Lo: 0, Hi: 1}}}},
+	}
+	full := AppendManifestBinary(nil, m)
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeManifestBinary(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded without error", cut, len(full))
+		}
 	}
 }

@@ -1,0 +1,124 @@
+package topology
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Regions partitions the topology's nodes into k contiguous regions by
+// graph distance — the sharding key of the hierarchical control plane,
+// where each region gets its own manifest controller and the planner's
+// output is split along region boundaries.
+//
+// The partition is deterministic for a given topology: seeds are chosen
+// by farthest-point traversal (the first seed is node 0; each subsequent
+// seed is the node maximizing its shortest-path distance to the chosen
+// set, ties toward lower IDs), and every node then joins the region of
+// its nearest seed (ties again toward the lower-ID seed). Unreachable
+// nodes fall into the first region. Regions are returned as ascending
+// node-ID slices, ordered by their seed's ID; len(result) == min(k, N).
+func (t *Topology) Regions(k int) [][]int {
+	n := len(t.Nodes)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	// All-pairs shortest-path distances from each prospective seed; k is
+	// small (a handful of regions), so this is k Dijkstra runs, not n.
+	distFromSeed := make([][]float64, 0, k)
+	seeds := make([]int, 0, k)
+	dijkstra := func(src int) []float64 {
+		dist := make([]float64, n)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		dist[src] = 0
+		q := &pq{{src, 0}}
+		for q.Len() > 0 {
+			it := heap.Pop(q).(pqItem)
+			if it.dist > dist[it.node] {
+				continue
+			}
+			for _, nb := range t.adj[it.node] {
+				if nd := it.dist + nb.dist; nd < dist[nb.to] {
+					dist[nb.to] = nd
+					heap.Push(q, pqItem{nb.to, nd})
+				}
+			}
+		}
+		return dist
+	}
+	// minDist[v] is v's distance to the nearest chosen seed.
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	for len(seeds) < k {
+		next := 0
+		if len(seeds) > 0 {
+			best := math.Inf(-1)
+			next = -1
+			for v := 0; v < n; v++ {
+				if minDist[v] == 0 {
+					continue // already a seed
+				}
+				d := minDist[v]
+				if math.IsInf(d, 1) {
+					d = math.MaxFloat64 // disconnected: farthest of all
+				}
+				if d > best {
+					best, next = d, v
+				}
+			}
+			if next < 0 {
+				break // fewer distinct nodes than k
+			}
+		}
+		seeds = append(seeds, next)
+		df := dijkstra(next)
+		distFromSeed = append(distFromSeed, df)
+		for v := 0; v < n; v++ {
+			if df[v] < minDist[v] {
+				minDist[v] = df[v]
+			}
+		}
+	}
+	sort.Ints(seeds) // region order follows seed ID, not discovery order
+	// Re-fetch each sorted seed's distance row.
+	rows := make([][]float64, len(seeds))
+	for i, s := range seeds {
+		for _, orig := range distFromSeed {
+			if orig[s] == 0 { // only s's own row: inter-seed distances are positive
+
+				rows[i] = orig
+				break
+			}
+		}
+		if rows[i] == nil {
+			rows[i] = dijkstra(s)
+		}
+	}
+	out := make([][]int, len(seeds))
+	for v := 0; v < n; v++ {
+		best, bi := math.Inf(1), 0
+		for i := range seeds {
+			if d := rows[i][v]; d < best {
+				best, bi = d, i
+			}
+		}
+		out[bi] = append(out[bi], v)
+	}
+	// Drop empty regions (possible only when every node of a seed got
+	// claimed by a closer duplicate-distance seed; keeps the contract that
+	// each returned region is non-empty).
+	final := out[:0]
+	for _, r := range out {
+		if len(r) > 0 {
+			final = append(final, r)
+		}
+	}
+	return final
+}

@@ -1,0 +1,75 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRegionsPartition(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		topo *Topology
+		k    int
+	}{
+		{"internet2-2", Internet2(), 2},
+		{"internet2-3", Internet2(), 3},
+		{"geant-4", Geant(), 4},
+		{"isp50-5", FiftyNode(), 5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			regions := tc.topo.Regions(tc.k)
+			if len(regions) != tc.k {
+				t.Fatalf("got %d regions, want %d", len(regions), tc.k)
+			}
+			seen := make(map[int]int)
+			for r, members := range regions {
+				if len(members) == 0 {
+					t.Fatalf("region %d is empty", r)
+				}
+				for i := 1; i < len(members); i++ {
+					if members[i-1] >= members[i] {
+						t.Fatalf("region %d not ascending: %v", r, members)
+					}
+				}
+				for _, j := range members {
+					if prev, dup := seen[j]; dup {
+						t.Fatalf("node %d in regions %d and %d", j, prev, r)
+					}
+					seen[j] = r
+				}
+			}
+			if len(seen) != tc.topo.N() {
+				t.Fatalf("partition covers %d of %d nodes", len(seen), tc.topo.N())
+			}
+		})
+	}
+}
+
+func TestRegionsDeterministic(t *testing.T) {
+	a := Internet2().Regions(3)
+	b := Internet2().Regions(3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("partition not deterministic:\n%v\n%v", a, b)
+	}
+}
+
+func TestRegionsEdgeCases(t *testing.T) {
+	topo := Internet2()
+	if got := topo.Regions(0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	one := topo.Regions(1)
+	if len(one) != 1 || len(one[0]) != topo.N() {
+		t.Fatalf("k=1 must be the whole topology, got %v", one)
+	}
+	// k > N clamps to one singleton region per node.
+	all := topo.Regions(topo.N() + 5)
+	if len(all) != topo.N() {
+		t.Fatalf("k>N gave %d regions, want %d", len(all), topo.N())
+	}
+	for r, members := range all {
+		if len(members) != 1 {
+			t.Fatalf("region %d has %d members, want 1", r, len(members))
+		}
+	}
+}
