@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench fuzz vet test build trace allocs
+.PHONY: check race bench fuzz vet test build trace allocs audit
 
 # Tier-1 verification: everything must build, vet cleanly, and the full
 # test suite pass.
@@ -25,7 +25,7 @@ vet:
 race: vet
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/chaos/ ./internal/cluster/ ./internal/governor/ \
-		./internal/bro/ ./internal/conntrack/ ./internal/control/
+		./internal/bro/ ./internal/conntrack/ ./internal/control/ ./internal/ledger/
 
 # Allocation gate: rerun the testing.AllocsPerRun contracts of the
 # per-packet path uncached. The decision path (ShouldAnalyze / DecideAll /
@@ -81,6 +81,27 @@ bench:
 		-sessions 1500 -epochs 5 -burstfactor 1.8 -burstprob 0.5 \
 		-basejitter 0.05 -probes 500 -seed 5 \
 		-trace BENCH_trace.jsonl -metrics BENCH_trace.json >/dev/null
+	$(GO) run ./cmd/auditcheck -bench -o BENCH_ledger.json
+
+# Audit tier: smoke the tamper-evident ledger end to end. A seeded chaos
+# run and a seeded overload run each record their audit chain; auditcheck
+# replays both offline (every chain link, Merkle root, and blob digest
+# against the pinned HEAD, plus the genesis link against the seed), proves
+# a sampled (node, range, epoch) assignment by Merkle inclusion, and runs
+# the adversarial self-test: hundreds of seeded single-byte corruptions
+# across chain and blobs, every one of which must fail verification.
+audit:
+	rm -rf audit_chaos audit_overload
+	$(GO) run ./cmd/cluster -sessions 2000 -epochs 6 -seed 21 -probes 500 \
+		-trace audit_chaos.trace.jsonl -ledger audit_chaos >/dev/null
+	$(GO) run ./cmd/cluster -overload -governor -redundancy 2 \
+		-sessions 1500 -epochs 5 -burstfactor 1.8 -burstprob 0.5 \
+		-basejitter 0.05 -probes 500 -seed 5 -ledger audit_overload >/dev/null
+	$(GO) run ./cmd/auditcheck -dir audit_chaos -seed 21 -tamper 200
+	$(GO) run ./cmd/auditcheck -dir audit_chaos -seed 21 -q -prove -node 3 -epoch 1 \
+		-class 0 -k0 3 -k1 -1 -lo 0.0 -hi 1.0
+	$(GO) run ./cmd/auditcheck -dir audit_overload -seed 5 -tamper 200
+	rm -rf audit_chaos audit_overload audit_chaos.trace.jsonl
 
 # Trace tier: smoke the flight recorder end to end. A seeded overload run
 # with forced governor shedding writes its JSONL post-mortem twice — once

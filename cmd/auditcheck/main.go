@@ -1,0 +1,410 @@
+// Command auditcheck is the offline verifier for the tamper-evident audit
+// ledger written by cmd/cluster -ledger (internal/ledger). It never trusts
+// the producer: every guarantee is recomputed from the on-disk bytes.
+//
+// Modes:
+//
+//	auditcheck -dir DIR [-seed N]
+//	    Replay DIR/chain.jsonl and validate the full history: strict
+//	    record schema, dense sequence numbers, non-decreasing epochs,
+//	    every hash-chain link, every Merkle root, and every off-chain
+//	    blob in DIR/objects re-hashed against its on-chain reference —
+//	    all anchored to the pinned head digest in DIR/HEAD. With -seed,
+//	    the genesis link is checked against the run seed too.
+//
+//	auditcheck -dir DIR -prove -node J -epoch E [-class C -k0 A -k1 B -lo X -hi Y]
+//	    Answer "what was node J's manifest at controller epoch E?" with
+//	    evidence: the latest publish/shed record at epoch <= E, the
+//	    node's canonical manifest blob, and a Merkle inclusion proof
+//	    from the blob's item leaf to the record's root (itself covered
+//	    by the chain head). With a class/unit/range query, additionally
+//	    check that the manifest assigns [lo, hi) of that unit to the
+//	    node — proving range responsibility, not just manifest bytes.
+//
+//	auditcheck -dir DIR -tamper N [-tamperseed S]
+//	    Adversarial self-test: N seeded single-byte corruptions spread
+//	    across the chain file and every referenced blob, each of which
+//	    must fail verification against the pinned head. Exits non-zero
+//	    if any mutation goes undetected.
+//
+//	auditcheck -bench [-o BENCH_ledger.json]
+//	    Run the seeded chaos scenario with the ledger off and on,
+//	    require DeepEqual reports (non-interference), and emit commit
+//	    overhead per epoch (gated at 5%), proof size, and offline
+//	    verification throughput as JSON.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"nwdeploy/internal/chaos"
+	"nwdeploy/internal/cluster"
+	"nwdeploy/internal/control"
+	"nwdeploy/internal/ledger"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("auditcheck: ")
+	dir := flag.String("dir", "", "ledger directory (chain.jsonl, HEAD, objects/)")
+	seed := flag.Int64("seed", 0, "run seed; when non-zero the genesis link is verified against it")
+	prove := flag.Bool("prove", false, "prove a node's manifest (and optionally a range assignment) at an epoch")
+	node := flag.Int("node", -1, "prove: node id")
+	epoch := flag.Uint64("epoch", 0, "prove: controller epoch the assignment must have been in force at")
+	class := flag.Int("class", -1, "prove: class id of the queried unit (-1 skips the range check)")
+	k0 := flag.Int("k0", 0, "prove: first unit key component")
+	k1 := flag.Int("k1", 0, "prove: second unit key component (-1 for ingress/egress-scoped units)")
+	lo := flag.Float64("lo", 0, "prove: queried range low bound")
+	hi := flag.Float64("hi", 0, "prove: queried range high bound")
+	tamper := flag.Int("tamper", 0, "flip this many seeded single bytes across chain+blobs; each must be detected")
+	tamperSeed := flag.Int64("tamperseed", 1, "seed for tamper byte selection")
+	bench := flag.Bool("bench", false, "run the ledger overhead/throughput benchmark instead of verifying a directory")
+	benchOut := flag.String("o", "", "bench: write the JSON benchmark report to this file (default stdout)")
+	quiet := flag.Bool("q", false, "suppress ok-summaries")
+	flag.Parse()
+
+	if *bench {
+		runBench(*benchOut)
+		return
+	}
+	if *dir == "" {
+		log.Fatal("usage: auditcheck -dir DIR [-seed N] [-prove ... | -tamper N] (or -bench)")
+	}
+
+	chain, err := os.ReadFile(filepath.Join(*dir, "chain.jsonl"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	headRaw, err := os.ReadFile(filepath.Join(*dir, "HEAD"))
+	if err != nil {
+		log.Fatalf("reading pinned head (run with -ledger to produce one): %v", err)
+	}
+	head := string(bytes.TrimSpace(headRaw))
+	store, err := ledger.NewDirStore(filepath.Join(*dir, "objects"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := ledger.VerifyOptions{Head: head, Store: store}
+	if *seed != 0 {
+		opts.GenesisPrev = ledger.GenesisHex(*seed)
+	}
+
+	sum, err := ledger.VerifyChain(chain, opts)
+	if err != nil {
+		log.Fatalf("verification FAILED: %v", err)
+	}
+	if !*quiet {
+		fmt.Printf("%s: ok — %d records, %d items, %d blob refs (%d chain + %d blob bytes), head %s\n",
+			*dir, sum.Records, sum.Items, sum.Blobs, sum.ChainBytes, sum.BlobBytes, sum.Head)
+		for _, k := range []string{ledger.RecPublish, ledger.RecShed, ledger.RecEpoch, ledger.RecRegions, ledger.RecTrace} {
+			if n := sum.Kinds[k]; n > 0 {
+				fmt.Printf("  %-8s %d\n", k, n)
+			}
+		}
+	}
+
+	switch {
+	case *prove:
+		runProve(chain, store, *node, *epoch, *class, [2]int{*k0, *k1}, *lo, *hi)
+	case *tamper > 0:
+		runTamper(chain, store, opts, *tamper, *tamperSeed, *quiet)
+	}
+}
+
+// parseRecords decodes a verified chain's lines. The chain has already
+// passed VerifyChain, so failures here are programming errors.
+func parseRecords(chain []byte) []ledger.Record {
+	var recs []ledger.Record
+	for _, line := range bytes.Split(chain, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec ledger.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			log.Fatalf("re-parsing verified chain: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// runProve locates the manifest record in force for (node, epoch), checks
+// the optional range-assignment query against the decoded canonical
+// manifest, and prints the Merkle inclusion proof tying the blob to the
+// record root the verified chain head covers.
+func runProve(chain []byte, store ledger.Store, node int, epoch uint64, class int, unit [2]int, lo, hi float64) {
+	if node < 0 || epoch == 0 {
+		log.Fatal("prove: need -node and -epoch")
+	}
+	// The manifest in force at epoch e is the latest publish/shed commit
+	// with epoch <= e: later shed records supersede earlier publishes.
+	var rec ledger.Record
+	found := false
+	for _, r := range parseRecords(chain) {
+		if (r.Kind == ledger.RecPublish || r.Kind == ledger.RecShed) && r.Epoch <= epoch {
+			rec, found = r, true
+		}
+	}
+	if !found {
+		log.Fatalf("prove: no publish/shed record at epoch <= %d", epoch)
+	}
+	key := fmt.Sprintf("node/%d", node)
+	item := -1
+	for i, it := range rec.Items {
+		if it.Kind == ledger.ItemManifest && it.Key == key {
+			item = i
+		}
+	}
+	if item < 0 {
+		log.Fatalf("prove: record seq %d has no manifest for node %d", rec.Seq, node)
+	}
+	blob, err := store.Get(rec.Items[item].Ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := control.DecodeCanonicalManifest(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if class >= 0 {
+		if !covers(m.Assignments, class, unit, lo, hi) {
+			log.Fatalf("DISPROVED: node %d's manifest at epoch %d (record seq %d) does not assign [%g, %g) of class %d unit %v",
+				node, epoch, rec.Seq, lo, hi, class, unit)
+		}
+		fmt.Printf("proved: node %d was assigned [%g, %g) of class %d unit %v at epoch %d\n",
+			node, lo, hi, class, unit, epoch)
+	}
+
+	p, err := ledger.RecordProof(rec, item)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ledger.VerifyItem(rec, item, p) {
+		log.Fatalf("prove: inclusion proof for %s does not verify against record root", key)
+	}
+	pj, _ := json.Marshal(p)
+	fmt.Printf("manifest: record seq %d (kind %s, epoch %d, run %d), blob %s (%d bytes)\n",
+		rec.Seq, rec.Kind, rec.Epoch, rec.Run, rec.Items[item].Ref, len(blob))
+	fmt.Printf("inclusion proof (leaf %d of %d, root %s):\n%s\n", p.Index, p.Leaves, rec.Root, pj)
+}
+
+// covers reports whether the assignment set gives (class, unit) the whole
+// interval [lo, hi). Canonical assignments hold coalesced, sorted ranges,
+// so containment within a single range is the correct test.
+func covers(as []control.WireAssignment, class int, unit [2]int, lo, hi float64) bool {
+	for _, a := range as {
+		if a.Class != class || a.Unit != unit {
+			continue
+		}
+		for _, r := range a.Ranges {
+			if r.Lo <= lo && hi <= r.Hi {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tamperStore serves one overridden blob over an inner store.
+type tamperStore struct {
+	inner ledger.Store
+	ref   string
+	data  []byte
+}
+
+func (s tamperStore) Put(data []byte) (string, error) { return s.inner.Put(data) }
+func (s tamperStore) Get(ref string) ([]byte, error) {
+	if ref == s.ref {
+		return append([]byte(nil), s.data...), nil
+	}
+	return s.inner.Get(ref)
+}
+
+// runTamper flips n seeded single bytes — anywhere in the chain file or
+// any referenced blob — and requires every mutation to fail verification
+// against the pinned head.
+func runTamper(chain []byte, store ledger.Store, opts ledger.VerifyOptions, n int, seed int64, quiet bool) {
+	var refs []string
+	seen := map[string]bool{}
+	for _, rec := range parseRecords(chain) {
+		for _, it := range rec.Items {
+			if it.Ref != "" && !seen[it.Ref] {
+				seen[it.Ref] = true
+				refs = append(refs, it.Ref)
+			}
+		}
+	}
+	blobs := make([][]byte, len(refs))
+	total := len(chain)
+	for i, ref := range refs {
+		b, err := store.Get(ref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		blobs[i] = b
+		total += len(b)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	undetected := 0
+	for trial := 0; trial < n; trial++ {
+		off := rng.Intn(total)
+		flip := byte(1 + rng.Intn(255)) // never zero: the byte must change
+		var err error
+		if off < len(chain) {
+			mut := append([]byte(nil), chain...)
+			mut[off] ^= flip
+			_, err = ledger.VerifyChain(mut, opts)
+		} else {
+			off -= len(chain)
+			bi := 0
+			for off >= len(blobs[bi]) {
+				off -= len(blobs[bi])
+				bi++
+			}
+			mut := append([]byte(nil), blobs[bi]...)
+			mut[off] ^= flip
+			mutOpts := opts
+			mutOpts.Store = tamperStore{inner: store, ref: refs[bi], data: mut}
+			_, err = ledger.VerifyChain(chain, mutOpts)
+		}
+		if err == nil {
+			undetected++
+			log.Printf("UNDETECTED tamper: trial %d", trial)
+		}
+	}
+	if undetected > 0 {
+		log.Fatalf("tamper test FAILED: %d of %d mutations went undetected", undetected, n)
+	}
+	if !quiet {
+		fmt.Printf("tamper: all %d seeded single-byte mutations detected (%d chain + blob bytes in scope)\n", n, total)
+	}
+}
+
+// benchReport is the BENCH_ledger.json schema.
+type benchReport struct {
+	Scenario         string  `json:"scenario"`
+	Epochs           int     `json:"epochs"`
+	NonInterference  bool    `json:"non_interference"` // ledger-on report DeepEqual ledger-off
+	Records          int     `json:"records"`
+	ChainBytes       int64   `json:"chain_bytes"`
+	BlobBytes        int64   `json:"blob_bytes"`
+	CommitNSPerEpoch float64 `json:"commit_ns_per_epoch"`
+	EpochNS          float64 `json:"epoch_ns"`
+	OverheadFrac     float64 `json:"overhead_frac"` // commit time / run time
+	OverheadGate     float64 `json:"overhead_gate"`
+	ProofBytes       int     `json:"proof_bytes"` // JSON size of a manifest inclusion proof
+	VerifyRecsPerSec float64 `json:"verify_records_per_sec"`
+	VerifyMBPerSec   float64 `json:"verify_mb_per_sec"`
+}
+
+func runBench(outPath string) {
+	const benchSeed = 21
+	mkcfg := func(led *ledger.Ledger) cluster.ChaosConfig {
+		return cluster.ChaosConfig{
+			Sessions: 1200, Epochs: 6, Seed: benchSeed,
+			Faults:       chaos.NetworkFaults{DropProb: 0.2, BlackholeProb: 0.05},
+			NodeFailProb: 0.15, ControllerOutageProb: 0.1,
+			Probes: 1000, Ledger: led,
+		}
+	}
+	off, err := cluster.CoverageUnderChaos(mkcfg(nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := ledger.NewMemStore()
+	led := ledger.New(ledger.Options{Seed: benchSeed, Store: store})
+	runStart := time.Now()
+	on, err := cluster.CoverageUnderChaos(mkcfg(led))
+	if err != nil {
+		log.Fatal(err)
+	}
+	runNS := float64(time.Since(runStart).Nanoseconds())
+	if err := led.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	commits, commitNS, _ := led.Stats()
+	chain := led.Chain()
+	opts := ledger.VerifyOptions{
+		Head: led.HeadHex(), GenesisPrev: ledger.GenesisHex(benchSeed), Store: store,
+	}
+	sum, err := ledger.VerifyChain(chain, opts)
+	if err != nil {
+		log.Fatalf("bench chain does not verify: %v", err)
+	}
+
+	// Offline verification throughput: re-verify for at least 100ms.
+	iters, verifyNS := 0, int64(0)
+	for verifyNS < int64(100*time.Millisecond) {
+		start := time.Now()
+		if _, err := ledger.VerifyChain(chain, opts); err != nil {
+			log.Fatal(err)
+		}
+		verifyNS += time.Since(start).Nanoseconds()
+		iters++
+	}
+	verifySec := float64(verifyNS) / float64(time.Second)
+
+	// Proof size: a manifest inclusion proof from the widest record.
+	proofBytes := 0
+	for _, rec := range parseRecords(chain) {
+		for i, it := range rec.Items {
+			if it.Kind != ledger.ItemManifest {
+				continue
+			}
+			p, err := ledger.RecordProof(rec, i)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if j, _ := json.Marshal(p); len(j) > proofBytes {
+				proofBytes = len(j)
+			}
+		}
+	}
+
+	epochs := len(on.Epochs)
+	rep := benchReport{
+		Scenario:         "chaos/internet2",
+		Epochs:           epochs,
+		NonInterference:  reflect.DeepEqual(off, on),
+		Records:          sum.Records,
+		ChainBytes:       sum.ChainBytes,
+		BlobBytes:        sum.BlobBytes,
+		CommitNSPerEpoch: float64(commitNS) / float64(epochs),
+		EpochNS:          runNS / float64(epochs),
+		OverheadFrac:     float64(commitNS) / runNS,
+		OverheadGate:     0.05,
+		ProofBytes:       proofBytes,
+		VerifyRecsPerSec: float64(sum.Records*iters) / verifySec,
+		VerifyMBPerSec:   float64((sum.ChainBytes+sum.BlobBytes)*int64(iters)) / (1e6 * verifySec),
+	}
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	out = append(out, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, out, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		os.Stdout.Write(out)
+	}
+	if !rep.NonInterference {
+		log.Fatal("bench FAILED: ledger-on report diverged from ledger-off")
+	}
+	if rep.OverheadFrac > rep.OverheadGate {
+		log.Fatalf("bench FAILED: commit overhead %.2f%% of epoch time exceeds the %.0f%% gate (%d commits, %d ns)",
+			100*rep.OverheadFrac, 100*rep.OverheadGate, commits, commitNS)
+	}
+	fmt.Fprintf(os.Stderr, "auditcheck: bench ok — overhead %.3f%%, proof %d bytes, verify %.0f recs/s\n",
+		100*rep.OverheadFrac, rep.ProofBytes, rep.VerifyRecsPerSec)
+}

@@ -15,7 +15,7 @@
 //	        [-metrics run.json] [-trace run.trace.jsonl] [-ringsize 512]
 //	        [-slo-worst-cov 0] [-slo-avg-cov 0] [-slo-max-shed -1]
 //	        [-slo-max-replan-iters -1] [-slo-max-fetch-fail -1]
-//	        [-slo-max-dark -1] [-slo-deadline-miss]
+//	        [-slo-max-dark -1] [-slo-deadline-miss] [-ledger auditdir]
 //	cluster -overload [-burstfactor 4] [-burstprob 0.15] [-governor]
 //	        [-replan] [-warmreplan] [-replanthreshold 0.2] [-replanmaxiters 0]
 //	        [common flags as above]
@@ -41,19 +41,30 @@
 // detector (-replan) triggers re-solves, warm-started from the previous
 // basis with -warmreplan, bounded by -replanmaxiters simplex iterations
 // (a miss falls back to the governors' shed state).
+//
+// With -ledger DIR the run additionally writes its tamper-evident audit
+// ledger (internal/ledger): chain.jsonl (the hash-chained record log),
+// objects/ (content-addressed manifest and trace blobs), and HEAD (the
+// pinned chain head digest). Verify offline with:
+//
+//	auditcheck -dir DIR -seed SEED
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"nwdeploy/internal/bro"
 	"nwdeploy/internal/chaos"
 	"nwdeploy/internal/cluster"
 	"nwdeploy/internal/control"
+	"nwdeploy/internal/ledger"
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/topology"
 	"nwdeploy/internal/trace"
@@ -78,6 +89,7 @@ func main() {
 	probes := flag.Int("probes", 2000, "coverage probe points per coordination unit")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
 	tracePath := flag.String("trace", "", "record the flight recorder and write its JSONL dump to this file")
+	ledgerDir := flag.String("ledger", "", "record the tamper-evident audit ledger under this directory (chain.jsonl, HEAD, objects/); verify offline with auditcheck")
 	ringSize := flag.Int("ringsize", 512, "flight-recorder ring capacity per component (events)")
 	sloWorst := flag.Float64("slo-worst-cov", 0, "SLO: minimum per-epoch worst-node coverage (0 disables)")
 	sloAvg := flag.Float64("slo-avg-cov", 0, "SLO: minimum per-epoch average coverage (0 disables)")
@@ -120,6 +132,7 @@ func main() {
 	metrics := obs.New()
 	var tracer *trace.Tracer
 	var traceFile *os.File
+	var traceBuf bytes.Buffer // retained copy of the dump for the ledger's trace record
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
@@ -127,7 +140,25 @@ func main() {
 		}
 		traceFile = f
 		tracer = trace.New(trace.Options{Seed: *seed, RingSize: *ringSize})
-		tracer.SetSink(f)
+		tracer.SetSink(io.MultiWriter(f, &traceBuf))
+	}
+
+	var led *ledger.Ledger
+	var chainFile *os.File
+	if *ledgerDir != "" {
+		store, err := ledger.NewDirStore(filepath.Join(*ledgerDir, "objects"))
+		if err != nil {
+			log.Fatalf("creating ledger store: %v", err)
+		}
+		f, err := os.Create(filepath.Join(*ledgerDir, "chain.jsonl"))
+		if err != nil {
+			log.Fatalf("creating ledger chain: %v", err)
+		}
+		chainFile = f
+		led = ledger.New(ledger.Options{Seed: *seed, Store: store, Sink: f})
+		// The trace dump header pins the chain head at dump time, binding
+		// the flight recording to the ledger prefix it was recorded against.
+		tracer.SetChainHead(led.HeadHex)
 	}
 	slo := trace.Disabled()
 	slo.MinWorstCoverage = *sloWorst
@@ -155,6 +186,39 @@ func main() {
 		fmt.Printf("# trace: %d events recorded (%d evicted from rings) -> %s\n",
 			emitted, dropped, *tracePath)
 	}
+	// finishLedger runs after finishTrace: it commits the flight-recorder
+	// dump (when one was recorded) as the chain's final trace record, then
+	// pins the head digest in the HEAD file — the run's single trust
+	// anchor, which auditcheck verifies the whole history against.
+	finishLedger := func() {
+		if led == nil {
+			return
+		}
+		if traceBuf.Len() > 0 {
+			ep := uint64(0)
+			if recs := led.Records(); len(recs) > 0 {
+				ep = recs[len(recs)-1].Epoch
+			}
+			b := led.Begin(ledger.RecTrace, ep)
+			b.Blob(ledger.ItemTrace, "dump", traceBuf.Bytes(), nil)
+			if _, err := b.Commit(); err != nil {
+				log.Fatalf("committing trace record: %v", err)
+			}
+		}
+		if err := led.Err(); err != nil {
+			log.Fatalf("ledger: %v", err)
+		}
+		if err := chainFile.Close(); err != nil {
+			log.Fatalf("closing ledger chain: %v", err)
+		}
+		head := led.HeadHex()
+		if err := os.WriteFile(filepath.Join(*ledgerDir, "HEAD"), []byte(head+"\n"), 0o644); err != nil {
+			log.Fatalf("writing ledger HEAD: %v", err)
+		}
+		commits, _, blobBytes := led.Stats()
+		fmt.Printf("# ledger: %d records committed (%d blob bytes), head %s -> %s\n",
+			commits, blobBytes, head, *ledgerDir)
+	}
 
 	if *overload {
 		ocfg := cluster.OverloadConfig{
@@ -165,7 +229,7 @@ func main() {
 			Replan:   *replan, WarmReplan: *warmReplan,
 			ReplanThreshold: *replanThreshold, ReplanMaxIters: *replanMaxIters,
 			Workers: *workers, Probes: *probes, Metrics: metrics,
-			Trace: tracer, Watchdog: watchdog,
+			Trace: tracer, Watchdog: watchdog, Ledger: led,
 		}
 		rep, err := cluster.RunOverload(ocfg)
 		if err != nil {
@@ -186,6 +250,7 @@ func main() {
 			rep.WorstCoverage, rep.AvgCoverage, rep.MaxOverBudget,
 			rep.Replans, rep.MissedReplans, rep.TotalReplanIters)
 		finishTrace()
+		finishLedger()
 		if *metricsPath != "" {
 			if err := metrics.WriteFile(*metricsPath); err != nil {
 				log.Fatalf("writing metrics: %v", err)
@@ -228,6 +293,7 @@ func main() {
 	cfg.Metrics = metrics
 	cfg.Trace = tracer
 	cfg.Watchdog = watchdog
+	cfg.Ledger = led
 
 	rep, err := cluster.CoverageUnderChaos(cfg)
 	if err != nil {
@@ -264,6 +330,7 @@ func main() {
 	}
 
 	finishTrace()
+	finishLedger()
 	if *metricsPath != "" {
 		if err := metrics.WriteFile(*metricsPath); err != nil {
 			log.Fatalf("writing metrics: %v", err)

@@ -6,6 +6,7 @@ import (
 	"nwdeploy/internal/bro"
 	"nwdeploy/internal/chaos"
 	"nwdeploy/internal/control"
+	"nwdeploy/internal/ledger"
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/parallel"
 	"nwdeploy/internal/topology"
@@ -76,6 +77,9 @@ type ChaosConfig struct {
 	// its SLO (see Options.Watchdog). Both are write-only.
 	Trace    *trace.Tracer
 	Watchdog *trace.Watchdog
+	// Ledger, when non-nil, receives the run's tamper-evident audit chain
+	// (see Options.Ledger). Write-only.
+	Ledger *ledger.Ledger
 }
 
 // ChaosReport is a full chaos run: the solved deployment's parameters and
@@ -154,7 +158,7 @@ func CoverageUnderChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		Retry: cfg.Retry, Agent: cfg.Agent, StaleGrace: cfg.StaleGrace,
 		Deltas: cfg.Deltas, Encoding: cfg.Encoding,
 		Workers: cfg.Workers, Probes: cfg.Probes, Metrics: cfg.Metrics,
-		Trace: cfg.Trace, Watchdog: cfg.Watchdog,
+		Trace: cfg.Trace, Watchdog: cfg.Watchdog, Ledger: cfg.Ledger,
 	})
 	if err != nil {
 		return nil, err

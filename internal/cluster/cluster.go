@@ -24,6 +24,7 @@ import (
 	"nwdeploy/internal/control"
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/ledger"
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/parallel"
 	"nwdeploy/internal/topology"
@@ -96,6 +97,13 @@ type Options struct {
 	// records the breached rules in the epoch report (and, when Trace is
 	// live, as slo_violation events). Nil disables SLO checking.
 	Watchdog *trace.Watchdog
+	// Ledger, when non-nil, receives the tamper-evident audit chain: the
+	// controller commits every publish (full canonical manifest set plus
+	// shed state) and the runtime commits a coverage verdict per epoch.
+	// Write-only like Metrics and Trace: reports are DeepEqual with or
+	// without it, and same-seed chains are byte-identical across Workers
+	// values and across processes.
+	Ledger *ledger.Ledger
 }
 
 // EpochReport is one epoch's outcome: the control-plane weather, what the
@@ -195,13 +203,14 @@ func New(opts Options) (*Cluster, error) {
 	gate := chaos.NewGate(ln)
 	ctrl, err := control.NewControllerOpts("", control.ControllerOptions{
 		HashKey: opts.HashKey, Metrics: opts.Metrics, Listener: gate,
+		Ledger: opts.Ledger,
 	})
 	if err != nil {
 		return nil, err
 	}
 	// The initial publish runs under the setup trace (epoch 0), so the
 	// first manifests agents fetch already carry wire context.
-	publishTraced(opts.Trace, ctrl, 0, plan)
+	publishTraced(opts.Trace, opts.Ledger, ctrl, 0, plan)
 
 	c := &Cluster{
 		opts: opts, inst: inst, plan: plan, ctrl: ctrl, gate: gate,
@@ -257,8 +266,10 @@ func nodeTrace(paths [][][]int, sessions []traffic.Session, j int) []traffic.Ses
 // recording a publish event on the controller component of the given
 // epoch's trace and stamping the publish span on served manifests — the
 // wire half of the epoch stitch. With a nil tracer it degrades to a plain
-// UpdatePlan.
-func publishTraced(t *trace.Tracer, ctrl *control.Controller, epoch int, plan *core.Plan) {
+// UpdatePlan. The ledger (nil-safe) is stamped with the runtime epoch
+// first, so the publish record the controller commits carries it.
+func publishTraced(t *trace.Tracer, l *ledger.Ledger, ctrl *control.Controller, epoch int, plan *core.Plan) {
+	l.SetRun(epoch)
 	pub := t.Epoch(epoch).Child("controller", -1)
 	if pub.Live() {
 		pub.Event(trace.EvPublish, trace.F64("objective", plan.Objective),
@@ -286,7 +297,7 @@ func (c *Cluster) Agents() []*NodeAgent { return c.agents }
 // The publish is recorded under the trace of the epoch about to run, so
 // the fetches it triggers stitch to it.
 func (c *Cluster) BumpEpoch() {
-	publishTraced(c.opts.Trace, c.ctrl, c.epoch+1, c.plan)
+	publishTraced(c.opts.Trace, c.opts.Ledger, c.ctrl, c.epoch+1, c.plan)
 }
 
 // Converge runs one fault-free fetch phase (all agents up, gate forced
@@ -330,6 +341,7 @@ func (c *Cluster) fetchPhase() {
 // plan's static prediction for the same failure set.
 func (c *Cluster) RunEpoch(f chaos.EpochFaults) EpochReport {
 	c.epoch++
+	c.opts.Ledger.SetRun(c.epoch)
 	c.epochC.Add(1)
 	c.epochSpan = c.opts.Trace.Epoch(c.epoch)
 	c.epochSpan.Event(trace.EvEpochStart,
@@ -395,6 +407,7 @@ func (c *Cluster) RunEpoch(f chaos.EpochFaults) EpochReport {
 		WorstCoverage: rep.WorstCoverage, AvgCoverage: rep.AvgCoverage,
 		FetchFailures: rep.FetchFailures, DarkAgents: rep.DarkAgents,
 	})
+	c.commitEpochLedger(&rep)
 	return rep
 }
 

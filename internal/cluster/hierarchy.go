@@ -7,6 +7,7 @@ import (
 	"nwdeploy/internal/chaos"
 	"nwdeploy/internal/control"
 	"nwdeploy/internal/core"
+	"nwdeploy/internal/ledger"
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/parallel"
 	"nwdeploy/internal/topology"
@@ -42,6 +43,12 @@ type HierarchyOptions struct {
 	Metrics *obs.Registry
 	// Workers sizes SyncAll's worker pool (0 = GOMAXPROCS, 1 = serial).
 	Workers int
+	// Ledger, when non-nil, receives the hierarchy's audit chain: the
+	// global coordinator commits a publish record per lockstep generation
+	// (region manifests are byte-identical member views of the same plan,
+	// so one tier's commitment covers all) and every Publish additionally
+	// seals the region partition as a regions record. Write-only.
+	Ledger *ledger.Ledger
 }
 
 // Hierarchy is a running two-tier control plane: region controllers under
@@ -122,7 +129,10 @@ func NewHierarchy(opts HierarchyOptions) (*Hierarchy, error) {
 	}
 
 	var err error
-	h.global, h.globalGate, err = newCtrl(control.ControllerOptions{})
+	// The ledger hangs off the global tier only: region manifests are
+	// member views of the same plan, so the global publish record already
+	// commits every byte a region controller can serve.
+	h.global, h.globalGate, err = newCtrl(control.ControllerOptions{Ledger: opts.Ledger})
 	if err != nil {
 		return nil, err
 	}
@@ -164,6 +174,26 @@ func (h *Hierarchy) Publish(plan *core.Plan) {
 		}
 		h.regional[r].UpdatePlan(shardPlan(plan, set))
 	}
+	h.commitRegions()
+}
+
+// commitRegions seals the region partition — which controller owns which
+// nodes at this generation — into the attached ledger, one canonical
+// member-list item per region. The record is what lets the offline
+// verifier prove "node j was assigned to region r at epoch e".
+func (h *Hierarchy) commitRegions() {
+	l := h.opts.Ledger
+	if l == nil {
+		return
+	}
+	b := l.Begin(ledger.RecRegions, h.global.Epoch())
+	for r, members := range h.regions {
+		var e ledger.Enc
+		e.Ints(members)
+		data, err := e.Finish()
+		b.Item(ledger.ItemRegion, fmt.Sprintf("region/%d", r), data, err)
+	}
+	b.Commit()
 }
 
 // PublishShed records a node's governor shed state on every tier.

@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"nwdeploy/internal/chaos"
+	"nwdeploy/internal/control"
+	"nwdeploy/internal/governor"
+	"nwdeploy/internal/ledger"
+	"nwdeploy/internal/topology"
+)
+
+func newTestLedger(seed int64) (*ledger.Ledger, *ledger.MemStore) {
+	store := ledger.NewMemStore()
+	return ledger.New(ledger.Options{Seed: seed, Store: store}), store
+}
+
+// verifyTestChain checks a run's chain end to end against its pinned head
+// and genesis and returns the summary.
+func verifyTestChain(t *testing.T, led *ledger.Ledger, store ledger.Store, seed int64) *ledger.ChainSummary {
+	t.Helper()
+	if err := led.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ledger.VerifyChain(led.Chain(), ledger.VerifyOptions{
+		Head: led.HeadHex(), GenesisPrev: ledger.GenesisHex(seed), Store: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+// Attaching a ledger must not perturb the run: same-seed chaos reports
+// with and without it compare DeepEqual, the chain verifies against its
+// pinned head, and the chain bytes are identical across worker counts —
+// commits happen only on the serial epoch loop.
+func TestChaosLedgerNonInterference(t *testing.T) {
+	base, err := CoverageUnderChaos(smallChaosConfig(21, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chains := make([][]byte, 0, 2)
+	for _, workers := range []int{1, 4} {
+		cfg := smallChaosConfig(21, workers)
+		led, store := newTestLedger(21)
+		cfg.Ledger = led
+		rep, err := CoverageUnderChaos(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, rep) {
+			t.Fatalf("ledger-on report (workers=%d) diverges from ledger-off", workers)
+		}
+		sum := verifyTestChain(t, led, store, 21)
+		if sum.Kinds[ledger.RecEpoch] != len(base.Epochs) {
+			t.Fatalf("chain has %d epoch records, want %d", sum.Kinds[ledger.RecEpoch], len(base.Epochs))
+		}
+		if sum.Kinds[ledger.RecPublish] == 0 {
+			t.Fatal("chain has no publish record")
+		}
+		chains = append(chains, led.Chain())
+	}
+	if !bytes.Equal(chains[0], chains[1]) {
+		t.Fatal("same-seed chains differ across worker counts")
+	}
+}
+
+// The delta-path equivalence contract on the live wire: a fault-free run
+// commits byte-identical chains whether agents sync by legacy full
+// fetches, JSON deltas, or binary deltas, at any worker count — six runs,
+// one chain. The committed manifests are canonical, so the sync path a
+// node took to reconstruct its manifest cannot leak into the audit record.
+func TestChaosLedgerDeltaPathEquivalence(t *testing.T) {
+	paths := []struct {
+		name   string
+		deltas bool
+		enc    control.Encoding
+	}{
+		{"legacy-full", false, control.EncodingJSON},
+		{"delta-json", true, control.EncodingJSON},
+		{"delta-binary", true, control.EncodingBinary},
+	}
+	var ref []byte
+	for _, p := range paths {
+		for _, workers := range []int{1, 4} {
+			cfg := ChaosConfig{
+				Sessions: 600, Epochs: 4, Seed: 33,
+				Schedule: &chaos.Schedule{}, // fault-free: every agent syncs every epoch
+				ReoptEvery: 2,               // exercise a mid-run publish record
+				Deltas:     p.deltas, Encoding: p.enc,
+				Probes: 300, Workers: workers,
+				Retry: fastRetry, Agent: fastAgent,
+			}
+			led, store := newTestLedger(33)
+			cfg.Ledger = led
+			if _, err := CoverageUnderChaos(cfg); err != nil {
+				t.Fatal(err)
+			}
+			verifyTestChain(t, led, store, 33)
+			if ref == nil {
+				ref = led.Chain()
+				continue
+			}
+			if !bytes.Equal(ref, led.Chain()) {
+				t.Fatalf("%s workers=%d: chain differs from reference", p.name, workers)
+			}
+		}
+	}
+}
+
+// The other half of the wire contract: the manifest an agent actually
+// installed through delta reconstruction canonicalizes to the exact blob
+// the controller committed for that node — prove-able, since every item
+// carries a Merkle inclusion proof into its record's root.
+func TestClusterLedgerMatchesAgentManifests(t *testing.T) {
+	led, store := newTestLedger(9)
+	c := newTestCluster(t, Options{Seed: 9, Deltas: true, Encoding: control.EncodingBinary, Ledger: led})
+	c.RunEpoch(chaos.EpochFaults{})
+	c.BumpEpoch()
+	c.RunEpoch(chaos.EpochFaults{})
+	verifyTestChain(t, led, store, 9)
+
+	var pub ledger.Record
+	for _, r := range led.Records() {
+		if r.Kind == ledger.RecPublish {
+			pub = r // keep the last publish
+		}
+	}
+	if pub.Kind == "" {
+		t.Fatal("no publish record committed")
+	}
+	for j, a := range c.Agents() {
+		m := a.agent.Manifest()
+		if m == nil {
+			t.Fatalf("agent %d holds no manifest", j)
+		}
+		want, err := control.CanonicalManifest(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for i, it := range pub.Items {
+			if it.Key != fmt.Sprintf("node/%d", j) {
+				continue
+			}
+			found = true
+			blob, err := store.Get(it.Ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(blob, want) {
+				t.Fatalf("node %d: committed blob differs from the agent's installed manifest", j)
+			}
+			p, err := ledger.RecordProof(pub, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ledger.VerifyItem(pub, i, p) {
+				t.Fatalf("node %d: inclusion proof does not verify", j)
+			}
+		}
+		if !found {
+			t.Fatalf("publish record has no item for node %d", j)
+		}
+	}
+}
+
+// Overload runs commit an epoch record per epoch whose prediction is the
+// governors' shed floor, plus one floor attestation per node — and the
+// ledger must not perturb the run.
+func TestOverloadLedgerAttestations(t *testing.T) {
+	base, err := RunOverload(smallOverloadConfig(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallOverloadConfig(5, 2)
+	led, store := newTestLedger(5)
+	cfg.Ledger = led
+	rep, err := RunOverload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, rep) {
+		t.Fatal("ledger-on overload report diverges from ledger-off")
+	}
+	verifyTestChain(t, led, store, 5)
+
+	n := topology.Internet2().N()
+	epochRecs := 0
+	shedAttested := false
+	for _, r := range led.Records() {
+		if r.Kind != ledger.RecEpoch {
+			continue
+		}
+		epochRecs++
+		if len(r.Items) != n+1 {
+			t.Fatalf("epoch record has %d items, want verdict + %d attestations", len(r.Items), n)
+		}
+		ep := rep.Epochs[epochRecs-1]
+		for _, it := range r.Items {
+			switch it.Kind {
+			case ledger.ItemVerdict:
+				v, err := DecodeCoverageVerdict(it.Data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.PredictedWorst != ep.ShedFloorWorst || v.Worst != ep.WorstCoverage {
+					t.Fatalf("epoch %d verdict %+v disagrees with report", ep.Epoch, v)
+				}
+			case ledger.ItemAttest:
+				a, err := governor.DecodeAttestation(it.Data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !a.FloorIntact {
+					t.Fatalf("epoch %d node %d attested a floor breach", ep.Epoch, a.Node)
+				}
+				if a.ShedWidth > 0 {
+					shedAttested = true
+				}
+			default:
+				t.Fatalf("unexpected item kind %s in epoch record", it.Kind)
+			}
+		}
+	}
+	if epochRecs != len(rep.Epochs) {
+		t.Fatalf("chain has %d epoch records, want %d", epochRecs, len(rep.Epochs))
+	}
+	if !shedAttested {
+		t.Fatal("no attestation recorded any shedding — scenario too tame to test anything")
+	}
+}
+
+// Every hierarchy publish seals the region partition, so an auditor can
+// prove which controller owned which nodes at any epoch.
+func TestHierarchyLedgerRegionsRecord(t *testing.T) {
+	topo := topology.Internet2()
+	plan, _ := hierPlan(t, topo, 1)
+	plan2, _ := hierPlan(t, topo, 2)
+	led, store := newTestLedger(13)
+	h, err := NewHierarchy(HierarchyOptions{
+		Topo: topo, Plan: plan, Regions: 3, HashKey: 7, Ledger: led,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	h.Publish(plan2)
+	verifyTestChain(t, led, store, 13)
+
+	var regionRecs []ledger.Record
+	for _, r := range led.Records() {
+		if r.Kind == ledger.RecRegions {
+			regionRecs = append(regionRecs, r)
+		}
+	}
+	if len(regionRecs) != 2 {
+		t.Fatalf("got %d regions records, want one per publish", len(regionRecs))
+	}
+	for gen, rec := range regionRecs {
+		if rec.Epoch != uint64(gen+1) {
+			t.Fatalf("regions record %d at epoch %d, want %d", gen, rec.Epoch, gen+1)
+		}
+		if len(rec.Items) != len(h.Regions()) {
+			t.Fatalf("regions record has %d items, want %d", len(rec.Items), len(h.Regions()))
+		}
+		for i, it := range rec.Items {
+			d := ledger.NewDec(it.Data)
+			members := d.Ints()
+			if err := d.Done(); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(members, h.Regions()[i]) {
+				t.Fatalf("region %d members %v, want %v", i, members, h.Regions()[i])
+			}
+			p, err := ledger.RecordProof(rec, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ledger.VerifyItem(rec, i, p) {
+				t.Fatalf("region %d proof does not verify", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+
+	"nwdeploy/internal/ledger"
+)
+
+// CoverageVerdict is the ledger-committed summary of one runtime epoch's
+// audit: what coverage the wire actually delivered versus the
+// prediction, which agents enforced which manifest generation, and the
+// SLO verdicts. One is committed per chaos epoch (prediction = the
+// plan's static residual-coverage model) and per overload epoch
+// (prediction = the governors' shed floor). All fields are logical
+// quantities, so the encoding is seed-deterministic.
+type CoverageVerdict struct {
+	RunEpoch       int
+	CtrlEpoch      uint64
+	ControllerDown bool
+	DownNodes      []int
+	AgentEpochs    []uint64
+	Synced         int
+	Stale          int
+	Dark           int
+	Alerts         int
+	MaxCPU         float64
+	Worst          float64
+	Avg            float64
+	PredictedWorst float64
+	PredictedAvg   float64
+	SLOViolations  []string
+}
+
+// Encode renders the verdict in the ledger's canonical binary form.
+func (v CoverageVerdict) Encode() ([]byte, error) {
+	var e ledger.Enc
+	e.I64(int64(v.RunEpoch))
+	e.U64(v.CtrlEpoch)
+	e.Bool(v.ControllerDown)
+	e.Ints(v.DownNodes)
+	e.U64s(v.AgentEpochs)
+	e.I64(int64(v.Synced))
+	e.I64(int64(v.Stale))
+	e.I64(int64(v.Dark))
+	e.I64(int64(v.Alerts))
+	e.F64(v.MaxCPU)
+	e.F64(v.Worst)
+	e.F64(v.Avg)
+	e.F64(v.PredictedWorst)
+	e.F64(v.PredictedAvg)
+	e.Strs(v.SLOViolations)
+	b, err := e.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: verdict epoch %d: %w", v.RunEpoch, err)
+	}
+	return b, nil
+}
+
+// DecodeCoverageVerdict parses a canonical verdict — the offline
+// verifier's read path.
+func DecodeCoverageVerdict(b []byte) (CoverageVerdict, error) {
+	d := ledger.NewDec(b)
+	v := CoverageVerdict{
+		RunEpoch:       int(d.I64()),
+		CtrlEpoch:      d.U64(),
+		ControllerDown: d.Bool(),
+		DownNodes:      d.Ints(),
+		AgentEpochs:    d.U64s(),
+		Synced:         int(d.I64()),
+		Stale:          int(d.I64()),
+		Dark:           int(d.I64()),
+		Alerts:         int(d.I64()),
+	}
+	v.MaxCPU = d.F64()
+	v.Worst = d.F64()
+	v.Avg = d.F64()
+	v.PredictedWorst = d.F64()
+	v.PredictedAvg = d.F64()
+	v.SLOViolations = d.Strs()
+	if err := d.Done(); err != nil {
+		return CoverageVerdict{}, fmt.Errorf("cluster: verdict: %w", err)
+	}
+	return v, nil
+}
+
+// commitEpochLedger seals a chaos epoch's verdict into the attached
+// ledger; free when no ledger is configured.
+func (c *Cluster) commitEpochLedger(rep *EpochReport) {
+	l := c.opts.Ledger
+	if l == nil {
+		return
+	}
+	b := l.Begin(ledger.RecEpoch, c.ctrl.Epoch())
+	v := CoverageVerdict{
+		RunEpoch:       rep.Epoch,
+		CtrlEpoch:      rep.ControllerEpoch,
+		ControllerDown: rep.ControllerDown,
+		DownNodes:      rep.DownNodes,
+		AgentEpochs:    rep.AgentEpochs,
+		Synced:         rep.SyncedAgents,
+		Stale:          rep.StaleAgents,
+		Dark:           rep.DarkAgents,
+		Alerts:         rep.Alerts,
+		MaxCPU:         rep.MaxCPU,
+		Worst:          rep.WorstCoverage,
+		Avg:            rep.AvgCoverage,
+		PredictedWorst: rep.PredictedWorst,
+		PredictedAvg:   rep.PredictedAvg,
+		SLOViolations:  rep.SLOViolations,
+	}
+	data, err := v.Encode()
+	b.Item(ledger.ItemVerdict, "coverage", data, err)
+	b.Commit()
+}

@@ -9,6 +9,7 @@ import (
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/governor"
 	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/ledger"
 	"nwdeploy/internal/lp"
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/parallel"
@@ -76,6 +77,11 @@ type OverloadConfig struct {
 	// its SLO (see Options.Watchdog). Both are write-only.
 	Trace    *trace.Tracer
 	Watchdog *trace.Watchdog
+	// Ledger, when non-nil, receives the run's tamper-evident audit chain:
+	// publish/shed records from the controller plus one epoch record per
+	// overload epoch carrying the coverage verdict (prediction = the
+	// governors' shed floor) and a per-node floor attestation. Write-only.
+	Ledger *ledger.Ledger
 }
 
 // OverloadEpoch is one epoch's outcome under overload.
@@ -249,7 +255,7 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 		Topo: cfg.Topo, Modules: cfg.Modules, Sessions: sessions,
 		Redundancy: cfg.Redundancy, Seed: cfg.Seed,
 		Workers: cfg.Workers, Probes: cfg.Probes, Metrics: cfg.Metrics,
-		Trace: cfg.Trace, Watchdog: cfg.Watchdog,
+		Trace: cfg.Trace, Watchdog: cfg.Watchdog, Ledger: cfg.Ledger,
 		CaptureBasis: cfg.Replan && cfg.WarmReplan,
 	})
 	if err != nil {
@@ -314,6 +320,7 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 	for e := 0; e < cfg.Epochs; e++ {
 		ep := OverloadEpoch{Epoch: e + 1}
 		c.epoch = e + 1
+		cfg.Ledger.SetRun(c.epoch)
 		c.epochSpan = cfg.Trace.Epoch(ep.Epoch)
 		c.epochSpan.Event(trace.EvEpochStart)
 		ctrlSpan := c.epochSpan.Child("controller", -1)
@@ -363,7 +370,7 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 				c.plan, c.inst = plan2, inst2
 				// clears published shed, bumps epoch, stamps this epoch's
 				// publish span on served manifests
-				publishTraced(cfg.Trace, c.ctrl, ep.Epoch, plan2)
+				publishTraced(cfg.Trace, cfg.Ledger, c.ctrl, ep.Epoch, plan2)
 				lastBasis = plan2.Basis
 				detector.Rebase(smPkts)
 				if err := buildGovernors(); err != nil {
@@ -410,6 +417,7 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 			// controller span, so re-fetching agents stitch to it.
 			c.ctrl.SetTrace(&control.WireTrace{Trace: ctrlSpan.TraceHex(), Span: ctrlSpan.SpanHex()})
 		}
+		var attests []governor.Attestation
 		for j, g := range govs {
 			g.AttachSpan(c.epochSpan.Child("governor", j))
 			grep, err := g.PlanEpoch(scVsPlan)
@@ -418,6 +426,9 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 			}
 			ep.NodeBudgets[j] = grep.BudgetCPU
 			if cfg.Governor {
+				if cfg.Ledger != nil {
+					attests = append(attests, g.Attest(grep))
+				}
 				ep.NodeLoads[j] = grep.CPUAfter
 				ep.ShedWidth += grep.ShedWidth
 				if !grep.Satisfied {
@@ -494,6 +505,7 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 		if len(ep.SLOViolations) > 0 {
 			cfg.Trace.DumpOnce("slo_violation")
 		}
+		commitOverloadLedger(cfg.Ledger, c, &ep, darkAgents, attests)
 
 		if ep.WorstCoverage < rep.WorstCoverage {
 			rep.WorstCoverage = ep.WorstCoverage
@@ -503,4 +515,45 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 	}
 	rep.AvgCoverage /= float64(len(rep.Epochs))
 	return rep, nil
+}
+
+// commitOverloadLedger seals one overload epoch into the attached ledger:
+// a coverage verdict whose prediction is the governors' shed floor, plus
+// one floor attestation per governed node. Free when no ledger is
+// configured.
+func commitOverloadLedger(l *ledger.Ledger, c *Cluster, ep *OverloadEpoch, dark int, attests []governor.Attestation) {
+	if l == nil {
+		return
+	}
+	v := CoverageVerdict{
+		RunEpoch:       ep.Epoch,
+		CtrlEpoch:      c.ctrl.Epoch(),
+		AgentEpochs:    make([]uint64, len(c.agents)),
+		Synced:         ep.SyncedAgents,
+		Stale:          len(c.agents) - ep.SyncedAgents - dark,
+		Dark:           dark,
+		Worst:          ep.WorstCoverage,
+		Avg:            ep.AvgCoverage,
+		PredictedWorst: ep.ShedFloorWorst,
+		PredictedAvg:   ep.ShedFloorAvg,
+		SLOViolations:  ep.SLOViolations,
+	}
+	for j, a := range c.agents {
+		if a.Usable() {
+			v.AgentEpochs[j] = a.Decider().Epoch()
+		}
+	}
+	for _, load := range ep.NodeLoads {
+		if load > v.MaxCPU {
+			v.MaxCPU = load
+		}
+	}
+	b := l.Begin(ledger.RecEpoch, c.ctrl.Epoch())
+	data, err := v.Encode()
+	b.Item(ledger.ItemVerdict, "coverage", data, err)
+	for _, a := range attests {
+		data, err := a.Encode()
+		b.Item(ledger.ItemAttest, fmt.Sprintf("node/%d", a.Node), data, err)
+	}
+	b.Commit()
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"nwdeploy/internal/core"
+	"nwdeploy/internal/ledger"
 	"nwdeploy/internal/obs"
 )
 
@@ -90,6 +91,13 @@ type ControllerOptions struct {
 	// regional tier publishes only its members' manifests and any other
 	// node is told to fetch from the global tier.
 	ServeNodes []int
+	// Ledger, when non-nil, receives a tamper-evident record of every
+	// publish: UpdatePlan and PublishShed commit the full post-publish
+	// canonical manifest set (off-chain, content-addressed) plus the live
+	// shed state under a Merkle root chained to the run's ledger head.
+	// Write-only like Metrics: serving behavior is identical with or
+	// without it.
+	Ledger *ledger.Ledger
 }
 
 // generation is one retained configuration snapshot: everything needed to
@@ -113,7 +121,8 @@ const maxRequestLine = 64 << 10
 type Controller struct {
 	hashKey uint32
 	histCap int
-	serves  map[int]bool // nil = serve every node
+	serves  map[int]bool   // nil = serve every node
+	ledger  *ledger.Ledger // nil = no audit chain
 
 	mu    sync.RWMutex
 	plan  *core.Plan
@@ -167,7 +176,8 @@ func NewControllerOpts(addr string, opts ControllerOptions) (*Controller, error)
 	}
 	c := &Controller{
 		hashKey: opts.HashKey, histCap: histCap, serves: serves,
-		ln: ln, closed: make(chan struct{}),
+		ledger: opts.Ledger,
+		ln:     ln, closed: make(chan struct{}),
 
 		epochReqC:    opts.Metrics.Counter("control.requests_epoch"),
 		manifestReqC: opts.Metrics.Counter("control.requests_manifest"),
@@ -207,6 +217,7 @@ func (c *Controller) UpdatePlan(plan *core.Plan) {
 	c.shed = nil
 	c.epoch++
 	c.snapshotLocked()
+	c.commitLocked(ledger.RecPublish)
 	c.planUpdateC.Add(1)
 	c.epochG.Set(float64(c.epoch))
 }
@@ -260,6 +271,7 @@ func (c *Controller) PublishShed(node int, shed []WireAssignment) {
 	}
 	c.epoch++
 	c.snapshotLocked()
+	c.commitLocked(ledger.RecShed)
 	c.shedUpdateC.Add(1)
 	c.epochG.Set(float64(c.epoch))
 }

@@ -1,0 +1,224 @@
+package control
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"nwdeploy/internal/ledger"
+)
+
+// The canonical form must erase representation: permuted assignment
+// order, duplicate (class, unit) entries, and width split across
+// touching ranges all encode to the same bytes as the tidy original.
+func TestCanonicalAssignmentsNormalize(t *testing.T) {
+	tidy := []WireAssignment{
+		{Class: 0, Unit: [2]int{1, 2}, Ranges: []WireRange{{Lo: 0.2, Hi: 0.5}}},
+		{Class: 1, Unit: [2]int{0, 0}, Ranges: []WireRange{{Lo: 0, Hi: 0.25}, {Lo: 0.5, Hi: 0.75}}},
+	}
+	messy := []WireAssignment{
+		{Class: 1, Unit: [2]int{0, 0}, Ranges: []WireRange{{Lo: 0.5, Hi: 0.6}}},
+		{Class: 0, Unit: [2]int{1, 2}, Ranges: []WireRange{{Lo: 0.3, Hi: 0.5}, {Lo: 0.2, Hi: 0.3}}},
+		{Class: 1, Unit: [2]int{0, 0}, Ranges: []WireRange{{Lo: 0.6, Hi: 0.75}, {Lo: 0, Hi: 0.25}, {Lo: 0.55, Hi: 0.7}}},
+		{Class: 2, Unit: [2]int{3, 3}, Ranges: nil}, // empty entry vanishes
+	}
+	ca, err := CanonicalAssignments(tidy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := CanonicalAssignments(messy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(ca)
+	jb, _ := json.Marshal(cb)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("canonical forms differ:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestCanonicalManifestRejectsNonFinite(t *testing.T) {
+	bad := []struct {
+		name string
+		m    *Manifest
+	}{
+		{"nan lo", &Manifest{Assignments: []WireAssignment{
+			{Class: 0, Unit: [2]int{0, 0}, Ranges: []WireRange{{Lo: math.NaN(), Hi: 0.5}}}}}},
+		{"inf hi", &Manifest{Assignments: []WireAssignment{
+			{Class: 0, Unit: [2]int{0, 0}, Ranges: []WireRange{{Lo: 0, Hi: math.Inf(1)}}}}}},
+		{"nan in shed", &Manifest{Shed: []WireAssignment{
+			{Class: 0, Unit: [2]int{0, 0}, Ranges: []WireRange{{Lo: 0, Hi: math.NaN()}}}}}},
+	}
+	for _, tc := range bad {
+		if _, err := CanonicalManifest(tc.m); !errors.Is(err, ledger.ErrNonFinite) {
+			t.Fatalf("%s: err = %v, want ErrNonFinite", tc.name, err)
+		}
+	}
+	// The rangesByKey width filter must not have swallowed the NaN before
+	// the finiteness check ran: a NaN-bounded range has r.Hi > r.Lo false.
+	if _, err := CanonicalAssignments([]WireAssignment{
+		{Class: 0, Unit: [2]int{0, 0}, Ranges: []WireRange{{Lo: math.NaN(), Hi: math.NaN()}}},
+	}); !errors.Is(err, ledger.ErrNonFinite) {
+		t.Fatalf("NaN-empty range slipped past the finiteness check: %v", err)
+	}
+}
+
+// A manifest reconstructed through the delta path must canonicalize to
+// the exact bytes of the full fetch it replaces — the unit-level half of
+// the delta-path equivalence contract (the cluster tests cover the
+// live-wire half).
+func TestCanonicalManifestDeltaPathEquivalence(t *testing.T) {
+	plan1, _ := solvedPlan(t, 1)
+	plan2, _ := solvedPlan(t, 2) // same classes/topology, different workload
+	const hashKey = 99
+	for node := 0; node < plan1.Inst.Topo.N(); node++ {
+		old, err := ManifestFromPlan(plan1, node, 1, hashKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := ManifestFromPlan(plan2, node, 2, hashKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, ok := DiffManifests(old, full)
+		if !ok {
+			t.Fatalf("node %d: manifests not diffable", node)
+		}
+		rebuilt, err := ApplyDelta(old, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := CanonicalManifest(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CanonicalManifest(rebuilt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("node %d: delta-reconstructed canonical bytes differ from full fetch", node)
+		}
+	}
+}
+
+func TestDecodeCanonicalManifestRoundTrip(t *testing.T) {
+	plan, _ := solvedPlan(t, 1)
+	m, err := ManifestFromPlan(plan, 2, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := CanonicalManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCanonicalManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := CanonicalManifest(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("decode/re-encode is not a fixed point")
+	}
+	if back.Node != 2 || back.HashKey != 7 || back.Epoch != 0 {
+		t.Fatalf("decoded header = %+v", back)
+	}
+}
+
+// The controller must seal a publish record on every UpdatePlan and a
+// shed record on every PublishShed, with blobs that decode to exactly
+// the manifests it would serve.
+func TestControllerCommitsToLedger(t *testing.T) {
+	plan, _ := solvedPlan(t, 1)
+	store := ledger.NewMemStore()
+	led := ledger.New(ledger.Options{Seed: 21, Store: store})
+	c, err := NewControllerOpts("127.0.0.1:0", ControllerOptions{HashKey: 7, Ledger: led})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.UpdatePlan(plan)
+	shed := []WireAssignment{{Class: 0, Unit: [2]int{0, 3}, Ranges: []WireRange{{Lo: 0.1, Hi: 0.2}}}}
+	c.PublishShed(4, shed)
+	c.PublishShed(4, nil) // clear
+	c.PublishShed(4, nil) // no-op: must not commit
+	if err := led.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := led.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3 (publish, shed, shed-clear)", len(recs))
+	}
+	wantKinds := []string{ledger.RecPublish, ledger.RecShed, ledger.RecShed}
+	for i, k := range wantKinds {
+		if recs[i].Kind != k || recs[i].Epoch != uint64(i+1) {
+			t.Fatalf("record %d = kind %s epoch %d, want %s epoch %d", i, recs[i].Kind, recs[i].Epoch, k, i+1)
+		}
+	}
+	if _, err := ledger.VerifyChain(led.Chain(), ledger.VerifyOptions{
+		Head: led.HeadHex(), GenesisPrev: ledger.GenesisHex(21), Store: store,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The shed record carries one manifest blob per node plus the inline
+	// shed item, and node 4's blob must decode to the served manifest
+	// (assignments + shed) in canonical form.
+	shedRec := recs[1]
+	n := len(plan.Manifests)
+	if len(shedRec.Items) != n+1 {
+		t.Fatalf("shed record has %d items, want %d manifests + 1 shed", len(shedRec.Items), n)
+	}
+	var blobRef string
+	for _, it := range shedRec.Items {
+		if it.Kind == ledger.ItemManifest && it.Key == "node/4" {
+			blobRef = it.Ref
+		}
+		if it.Kind == ledger.ItemShed && it.Key != "node/4" {
+			t.Fatalf("unexpected shed item key %s", it.Key)
+		}
+	}
+	if blobRef == "" {
+		t.Fatal("node/4 manifest blob missing from shed record")
+	}
+	blob, err := store.Get(blobRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ManifestFromPlan(plan, 4, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Shed = shed
+	wantBytes, err := CanonicalManifest(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, wantBytes) {
+		t.Fatal("committed manifest blob differs from the served manifest's canonical form")
+	}
+
+	// Unchanged manifests dedup: across the three records, nodes other
+	// than 4 contribute one blob each, node 4 at most three distinct.
+	if got := store.Len(); got > n+2 {
+		t.Fatalf("store holds %d blobs; dedup across epochs broken (want <= %d)", got, n+2)
+	}
+
+	// Every manifest item in the publish record proves into its root.
+	for i := range recs[0].Items {
+		p, err := ledger.RecordProof(recs[0], i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ledger.VerifyItem(recs[0], i, p) {
+			t.Fatalf("publish item %d proof does not verify", i)
+		}
+	}
+}

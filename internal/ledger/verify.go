@@ -1,0 +1,152 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// VerifyOptions anchors a chain verification. The chain head is the
+// single root of trust: with Head pinned, any single-byte change to any
+// record line or referenced blob fails verification.
+type VerifyOptions struct {
+	// Head, when non-empty, is the expected digest of the final record
+	// line (the externally pinned trust anchor — HEAD file, trace dump
+	// header, or log line). Without it, a truncation or rewrite of the
+	// chain tail is undetectable, so verifiers should always supply one.
+	Head string
+	// GenesisPrev, when non-empty, is the expected Prev of record 0 —
+	// GenesisHex(seed) when the run seed is known.
+	GenesisPrev string
+	// Store resolves off-chain blob references; required when any record
+	// carries one.
+	Store Store
+}
+
+// ChainSummary reports what a successful verification covered.
+type ChainSummary struct {
+	Records    int
+	Items      int
+	Blobs      int // blob references checked (each re-hashed)
+	ChainBytes int64
+	BlobBytes  int64 // distinct referenced blob bytes
+	Head       string
+	Epochs     uint64 // final controller epoch
+	Kinds      map[string]int
+}
+
+// VerifyChain replays a raw JSONL chain and validates every guarantee
+// the ledger makes: strict record schema, dense sequence numbers,
+// non-decreasing epochs, hash-chain links, Merkle roots recomputed from
+// the items, and every off-chain blob re-hashed against its on-chain
+// reference. It returns the first violation found, or a summary of the
+// verified history.
+func VerifyChain(chain []byte, opts VerifyOptions) (*ChainSummary, error) {
+	sum := &ChainSummary{Kinds: make(map[string]int)}
+	lines := bytes.Split(chain, []byte("\n"))
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("ledger: empty chain")
+	}
+	known := KnownRecordKinds()
+	seenBlobs := make(map[string]bool)
+	var prevHex string
+	var prevEpoch uint64
+	for i, line := range lines {
+		var rec Record
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("ledger: record %d: parse: %w", i, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("ledger: record %d: trailing data on line", i)
+		}
+		if rec.Seq != i {
+			return nil, fmt.Errorf("ledger: record %d: seq %d out of order", i, rec.Seq)
+		}
+		if !known[rec.Kind] {
+			return nil, fmt.Errorf("ledger: record %d: unknown kind %q", i, rec.Kind)
+		}
+		if err := checkHex(rec.ID, 16); err != nil {
+			return nil, fmt.Errorf("ledger: record %d: id: %w", i, err)
+		}
+		if err := checkHex(rec.Prev, 64); err != nil {
+			return nil, fmt.Errorf("ledger: record %d: prev: %w", i, err)
+		}
+		if err := checkHex(rec.Root, 64); err != nil {
+			return nil, fmt.Errorf("ledger: record %d: root: %w", i, err)
+		}
+		if rec.Epoch < prevEpoch {
+			return nil, fmt.Errorf("ledger: record %d: epoch %d regressed from %d", i, rec.Epoch, prevEpoch)
+		}
+		prevEpoch = rec.Epoch
+		switch {
+		case i == 0 && opts.GenesisPrev != "" && rec.Prev != opts.GenesisPrev:
+			return nil, fmt.Errorf("ledger: record 0: prev %s is not the genesis digest %s", rec.Prev, opts.GenesisPrev)
+		case i > 0 && rec.Prev != prevHex:
+			return nil, fmt.Errorf("ledger: record %d: chain break: prev %s, want %s", i, rec.Prev, prevHex)
+		}
+
+		var mb MerkleBatcher
+		for j, it := range rec.Items {
+			if it.Key == "" {
+				return nil, fmt.Errorf("ledger: record %d item %d: empty key", i, j)
+			}
+			if it.Ref != "" {
+				if len(it.Data) != 0 {
+					return nil, fmt.Errorf("ledger: record %d item %d: both inline data and blob ref", i, j)
+				}
+				if err := checkHex(it.Ref, 64); err != nil {
+					return nil, fmt.Errorf("ledger: record %d item %d: ref: %w", i, j, err)
+				}
+				if opts.Store == nil {
+					return nil, fmt.Errorf("ledger: record %d item %d: blob ref %s but no store to resolve it", i, j, it.Ref)
+				}
+				blob, err := opts.Store.Get(it.Ref)
+				if err != nil {
+					return nil, fmt.Errorf("ledger: record %d item %d: %w", i, j, err)
+				}
+				if got := Sum(blob).Hex(); got != it.Ref {
+					return nil, fmt.Errorf("ledger: record %d item %d: blob digest %s does not match ref %s", i, j, got, it.Ref)
+				}
+				sum.Blobs++
+				if !seenBlobs[it.Ref] {
+					seenBlobs[it.Ref] = true
+					sum.BlobBytes += int64(len(blob))
+				}
+			} else if len(it.Data) == 0 {
+				return nil, fmt.Errorf("ledger: record %d item %d: neither inline data nor blob ref", i, j)
+			}
+			mb.Add(LeafBytes(it))
+			sum.Items++
+		}
+		if got := mb.Root().Hex(); got != rec.Root {
+			return nil, fmt.Errorf("ledger: record %d: merkle root %s does not match items (%s)", i, rec.Root, got)
+		}
+
+		prevHex = Sum(line).Hex()
+		sum.Records++
+		sum.ChainBytes += int64(len(line)) + 1
+		sum.Kinds[rec.Kind]++
+		sum.Epochs = rec.Epoch
+	}
+	sum.Head = prevHex
+	if opts.Head != "" && prevHex != opts.Head {
+		return nil, fmt.Errorf("ledger: chain head %s does not match pinned head %s", prevHex, opts.Head)
+	}
+	return sum, nil
+}
+
+func checkHex(s string, n int) error {
+	if len(s) != n {
+		return fmt.Errorf("want %d hex chars, got %d", n, len(s))
+	}
+	if _, err := hex.DecodeString(s); err != nil {
+		return fmt.Errorf("not hex: %w", err)
+	}
+	return nil
+}

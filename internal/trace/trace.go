@@ -166,6 +166,9 @@ type Tracer struct {
 	sinkMu sync.Mutex
 	sink   io.Writer
 	dumped bool
+
+	headMu    sync.Mutex
+	chainHead func() string
 }
 
 type compKey struct {
@@ -438,6 +441,12 @@ func (t *Tracer) Dump(w io.Writer, reason string) error {
 			Int("dropped", dropped),
 		},
 	}
+	if h := t.chainHeadHex(); h != "" {
+		// Cross-reference into the audit ledger: the chain head digest at
+		// dump time pins which ledger prefix this flight recording belongs
+		// to. Absent (golden-stable) when no ledger is attached.
+		header.Attrs = append(header.Attrs, Str("chain_head", h))
+	}
 	if err := enc.Encode(header); err != nil {
 		return err
 	}
@@ -449,6 +458,34 @@ func (t *Tracer) Dump(w io.Writer, reason string) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// SetChainHead installs a provider of the audit ledger's current chain
+// head digest (hex). When set and returning non-empty, every Dump header
+// carries a "chain_head" attribute binding the flight recording to the
+// ledger prefix it was recorded against. A func (not a fixed string) so
+// the header always reflects the head at dump time, not attach time.
+func (t *Tracer) SetChainHead(head func() string) {
+	if t == nil {
+		return
+	}
+	t.headMu.Lock()
+	t.chainHead = head
+	t.headMu.Unlock()
+}
+
+// chainHeadHex resolves the chain head attribute ("" = omit).
+func (t *Tracer) chainHeadHex() string {
+	if t == nil {
+		return ""
+	}
+	t.headMu.Lock()
+	head := t.chainHead
+	t.headMu.Unlock()
+	if head == nil {
+		return ""
+	}
+	return head()
 }
 
 // SetSink installs the post-mortem destination DumpOnce writes to.

@@ -278,3 +278,53 @@ func TestDisabledSLOIsDisabled(t *testing.T) {
 		t.Fatal("zero-tolerance rule not detected as enabled")
 	}
 }
+
+// The dump header must carry the ledger chain head when a provider is
+// attached and returning non-empty — and stay byte-identical to the
+// ledger-off dump otherwise, so existing golden files never move.
+func TestDumpChainHeadAttr(t *testing.T) {
+	build := func() *Tracer {
+		tr := New(Options{Seed: 11})
+		tr.Epoch(1).Event(EvEpochStart)
+		return tr
+	}
+	var off, empty, on bytes.Buffer
+	if err := build().Dump(&off, "test"); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := build()
+	tr.SetChainHead(func() string { return "" })
+	if err := tr.Dump(&empty, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(off.Bytes(), empty.Bytes()) {
+		t.Fatal("empty chain head changed the dump bytes")
+	}
+
+	tr = build()
+	const head = "00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff"
+	tr.SetChainHead(func() string { return head })
+	if err := tr.Dump(&on, "test"); err != nil {
+		t.Fatal(err)
+	}
+	var header Event
+	if err := json.Unmarshal([]byte(strings.SplitN(on.String(), "\n", 2)[0]), &header); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	for _, a := range header.Attrs {
+		if a.K == "chain_head" {
+			got = a.V
+		}
+	}
+	if got != head {
+		t.Fatalf("chain_head attr = %q, want %q", got, head)
+	}
+	if strings.Contains(off.String(), "chain_head") {
+		t.Fatal("ledger-off dump mentions chain_head")
+	}
+
+	var nilTr *Tracer
+	nilTr.SetChainHead(func() string { return head }) // must not panic
+}
