@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check race bench fuzz vet test build trace allocs audit
+.PHONY: check race bench fuzz vet test build trace allocs audit scenarios
 
-# Tier-1 verification: everything must build, vet cleanly, and the full
-# test suite pass.
-check: build vet test
+# Tier-1 verification: everything must build, vet cleanly, pass the full
+# test suite, and hold the scenario grid's acceptance bar.
+check: build vet test scenarios
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,8 @@ race: vet
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/chaos/ ./internal/cluster/ ./internal/governor/ \
 		./internal/bro/ ./internal/conntrack/ ./internal/control/ ./internal/ledger/
+	$(GO) test -race -count=1 -run 'Scenario|Diurnal|Flash|Maintenance|Regret' \
+		./internal/experiments/ ./internal/traffic/ ./internal/online/
 
 # Allocation gate: rerun the testing.AllocsPerRun contracts of the
 # per-packet path uncached. The decision path (ShouldAnalyze / DecideAll /
@@ -82,6 +84,19 @@ bench:
 		-basejitter 0.05 -probes 500 -seed 5 \
 		-trace BENCH_trace.jsonl -metrics BENCH_trace.json >/dev/null
 	$(GO) run ./cmd/auditcheck -bench -o BENCH_ledger.json
+	$(GO) run ./cmd/experiments -only scenarios -scenarios-json BENCH_scenarios.json \
+		-scenarios-assert >/dev/null
+
+# Scenarios tier: the composable-scenario smoke run, wired into check. The
+# quick grid drives all five catalog drivers (plus the maintenance+flashcrowd
+# composition) against the live cluster runtime and fails unless every row
+# meets its acceptance bar: coverage floor held (or every breach
+# post-mortemed), zero SLO violations under the catalog thresholds, the SYN
+# flood visible to the data plane, the manifest-steering adversary's traffic
+# flowing with zero evasion, and FPL's cumulative regret sublinear. The full
+# (non-quick) grid is the bench-tier run that leaves BENCH_scenarios.json.
+scenarios:
+	$(GO) run ./cmd/experiments -quick -only scenarios -scenarios-assert >/dev/null
 
 # Audit tier: smoke the tamper-evident ledger end to end. A seeded chaos
 # run and a seeded overload run each record their audit chain; auditcheck

@@ -19,6 +19,8 @@
 //	cluster -overload [-burstfactor 4] [-burstprob 0.15] [-governor]
 //	        [-replan] [-warmreplan] [-replanthreshold 0.2] [-replanmaxiters 0]
 //	        [common flags as above]
+//	cluster -scenario diurnal|flashcrowd|synflood|maintenance|adversary
+//	        [-dataplane] [-governor] [-replan] [-warmreplan] [common flags]
 //
 // The whole run is a pure function of its flags: same flags, same output,
 // byte for byte, despite the real sockets underneath (see internal/chaos
@@ -33,6 +35,14 @@
 // replan). The dump is byte-identical across -workers values. The -slo-*
 // flags arm the per-epoch SLO watchdog; breaches show in the table's slo
 // column and trigger the post-mortem.
+//
+// With -scenario the run is driven by a named composable scenario from the
+// experiments catalog (join several with +, e.g. maintenance+flashcrowd):
+// the driver mutates traffic, injects crafted sessions, and schedules
+// drains or crashes each epoch, and the run audits achieved wire coverage
+// against what the published manifests promised, plus whether any injected
+// session evaded analysis. -dataplane additionally runs each agent's
+// engine over its share of the (scaled + injected) traffic.
 //
 // With -overload the fault injector is replaced by a bursty traffic series:
 // per-node load governors (-governor) shed hash ranges deterministically when
@@ -64,6 +74,7 @@ import (
 	"nwdeploy/internal/chaos"
 	"nwdeploy/internal/cluster"
 	"nwdeploy/internal/control"
+	"nwdeploy/internal/experiments"
 	"nwdeploy/internal/ledger"
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/topology"
@@ -109,6 +120,8 @@ func main() {
 	warmReplan := flag.Bool("warmreplan", false, "overload: warm-start replans from the previous basis")
 	replanThreshold := flag.Float64("replanthreshold", 0.2, "overload: EWMA relative-error drift threshold")
 	replanMaxIters := flag.Int("replanmaxiters", 0, "overload: simplex-iteration deadline per replan (0 = none; a miss falls back to shed state)")
+	scenario := flag.String("scenario", "", "run a named composable scenario (diurnal, flashcrowd, synflood, maintenance, adversary, or a + composition) instead of fault injection")
+	dataPlane := flag.Bool("dataplane", false, "scenario: run each agent's analysis engine over its traffic share every epoch")
 	flag.Parse()
 
 	var topo *topology.Topology
@@ -220,6 +233,70 @@ func main() {
 			commits, blobBytes, head, *ledgerDir)
 	}
 
+	if *scenario != "" {
+		driver, err := experiments.NewScenario(*scenario, *seed, *epochs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scfg := cluster.ScenarioConfig{
+			Driver: driver,
+			Topo:   topo, Sessions: *sessions, Epochs: *epochs,
+			Redundancy: *redundancy, Seed: *seed,
+			Governor: *governorOn,
+			Replan:   *replan, WarmReplan: *warmReplan,
+			ReplanThreshold: *replanThreshold, ReplanMaxIters: *replanMaxIters,
+			StaleGrace: *staleGrace, DataPlane: *dataPlane,
+			Workers: *workers, Probes: *probes, Metrics: metrics,
+			Trace: tracer, Watchdog: watchdog, Ledger: led,
+		}
+		if strings.Contains(*scenario, "synflood") && *redundancy == 1 {
+			// The flood targets the egress-scoped SYNFlood module, which
+			// the PerPath default set leaves out (its units admit a single
+			// copy, so it only deploys at r=1); swap in the flood subset so
+			// the injected flood is visible to the data plane.
+			for _, m := range bro.StandardModules() {
+				switch m.Name {
+				case "http", "signature", "synflood":
+					scfg.Modules = append(scfg.Modules, m)
+				}
+			}
+		}
+		rep, err := cluster.RunScenario(scfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# scenario %s on %s: %d nodes, %d sessions, redundancy %d, seed %d, governor %v, replan %v, objective %.4f\n",
+			rep.Scenario, rep.Topology, rep.Nodes, rep.Sessions, rep.Redundancy,
+			rep.Seed, rep.Governor, rep.Replan, rep.Objective)
+		fmt.Println("epoch\tdown\tdrained\tctrl_down\tinjected\tcaught\tevaded\tmax_rel_err\treplanned\tover_budget\tfloor_limited\tshed_width\tsynced\tstale\tdark\talerts\tworst_cov\tavg_cov\texpected_worst\tbreach\tslo")
+		for _, e := range rep.Epochs {
+			fmt.Printf("%d\t%s\t%s\t%v\t%d\t%d\t%d\t%.4f\t%v\t%d\t%d\t%.4f\t%d\t%d\t%d\t%d\t%.4f\t%.4f\t%.4f\t%v\t%s\n",
+				e.Epoch, nodeList(e.DownNodes), nodeList(e.Drained), e.CtrlDown,
+				e.Injected, e.InjectedCaught, e.InjectedEvaded,
+				e.MaxRelErr, e.Replanned, e.OverBudget, e.Unsatisfied, e.ShedWidth,
+				e.SyncedAgents, e.StaleAgents, e.DarkAgents, e.Alerts,
+				e.WorstCoverage, e.AvgCoverage, e.ExpectedWorst, e.Breach,
+				sloCell(e.SLOViolations))
+		}
+		fmt.Printf("# summary: worst coverage %.4f, avg %.4f, shed fraction %.4f, injected %d (evaded %d, rate %.4f), replans %d (missed %d), alerts %d\n",
+			rep.WorstCoverage, rep.AvgCoverage, rep.ShedFraction(),
+			rep.TotalInjected, rep.TotalEvaded, rep.EvasionRate(),
+			rep.Replans, rep.MissedReplans, rep.TotalAlerts)
+		if rep.FloorHeld {
+			fmt.Printf("# verdict: published coverage floor held on every epoch\n")
+		} else {
+			fmt.Printf("# verdict: coverage floor BREACHED on %d epochs (post-mortem in the trace dump)\n", rep.Breaches)
+		}
+		finishTrace()
+		finishLedger()
+		if *metricsPath != "" {
+			if err := metrics.WriteFile(*metricsPath); err != nil {
+				log.Fatalf("writing metrics: %v", err)
+			}
+		}
+		return
+	}
+
 	if *overload {
 		ocfg := cluster.OverloadConfig{
 			Topo: topo, Sessions: *sessions, Epochs: *epochs,
@@ -305,16 +382,8 @@ func main() {
 	fmt.Println("epoch\tctrl_epoch\tctrl_down\tdown_nodes\tsynced\tstale\tdark\tfetch_att\tfetch_fail\ttimeouts\talerts\tworst_cov\tavg_cov\tpredicted_worst\tslo")
 	holds := true
 	for _, e := range rep.Epochs {
-		down := "-"
-		if len(e.DownNodes) > 0 {
-			parts := make([]string, len(e.DownNodes))
-			for i, j := range e.DownNodes {
-				parts[i] = fmt.Sprint(j)
-			}
-			down = strings.Join(parts, ",")
-		}
 		fmt.Printf("%d\t%d\t%v\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.4f\t%.4f\t%.4f\t%s\n",
-			e.Epoch, e.ControllerEpoch, e.ControllerDown, down,
+			e.Epoch, e.ControllerEpoch, e.ControllerDown, nodeList(e.DownNodes),
 			e.SyncedAgents, e.StaleAgents, e.DarkAgents,
 			e.FetchAttempts, e.FetchFailures, e.FetchTimeouts, e.Alerts,
 			e.WorstCoverage, e.AvgCoverage, e.PredictedWorst,
@@ -346,4 +415,16 @@ func sloCell(violations []string) string {
 		return "ok"
 	}
 	return strings.Join(violations, ",")
+}
+
+// nodeList renders a node set for the table: "-" when empty.
+func nodeList(nodes []int) string {
+	if len(nodes) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(nodes))
+	for i, j := range nodes {
+		parts[i] = fmt.Sprint(j)
+	}
+	return strings.Join(parts, ",")
 }

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-workers n] [-only fig5,fig6,fig7,fig8,fig10,fig11,opttime,redundancy,ablations,adversaries,chaos,overload]
+//	experiments [-quick] [-workers n] [-only fig5,fig6,fig7,fig8,fig10,fig11,opttime,redundancy,ablations,adversaries,chaos,overload,scenarios]
 //	            [-metrics run.json] [-trace run.trace.jsonl] [-pprof 127.0.0.1:6060]
+//	            [-scenarios-json BENCH_scenarios.json] [-scenarios-assert]
 //
 // With -quick the reduced workload sizes are used (seconds per experiment);
 // without it the full evaluation sizes run (several minutes on one core —
@@ -21,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -51,6 +53,8 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
 	tracePath := flag.String("trace", "", "record the chaos/overload flight recorder and write its JSONL dump to this file (forces serial experiment blocks)")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /debug/vars, /metrics, and /trace on this address")
+	scenariosJSON := flag.String("scenarios-json", "", "write the scenario-grid rows as JSON to this file (implies running the scenarios block)")
+	scenariosAssert := flag.Bool("scenarios-assert", false, "fail unless every scenario row meets its acceptance bar (floor held, no SLO violations, flood visible, sublinear regret)")
 	flag.Parse()
 
 	metrics := obs.New()
@@ -88,6 +92,10 @@ func main() {
 		{"provisioning", provisioning},
 		{"chaos", chaosResilience},
 		{"overload", overloadResilience},
+		{"scenarios", scenariosRunner(*scenariosJSON, *scenariosAssert)},
+	}
+	if *scenariosJSON != "" && *only != "" && !want["scenarios"] {
+		want["scenarios"] = true
 	}
 	var selected []runner
 	for _, r := range all {
@@ -333,6 +341,81 @@ func overloadResilience(cfg experiments.Config) (string, error) {
 			r.WorstCoverage, r.AvgCoverage, r.Replans, r.MissedReplans, r.ReplanIters)
 	}
 	return b.String(), nil
+}
+
+// scenariosRunner builds the composable-scenario grid block. Beyond the
+// usual table it optionally writes the rows as JSON (the BENCH artifact)
+// and, with assert on, fails the whole suite unless every row meets its
+// acceptance bar — the CI smoke contract for the scenario engine.
+func scenariosRunner(jsonPath string, assert bool) func(experiments.Config) (string, error) {
+	return func(cfg experiments.Config) (string, error) {
+		rows, err := experiments.Scenarios(cfg)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		header(&b, "Scenario grid", "composable traffic/fault/adversary drivers against the cluster runtime: coverage floor, shed, evasion, regret")
+		fmt.Fprintln(&b, "scenario\tr\tgovernor\treplan\tworst_cov\tavg_cov\tfloor_held\tbreaches\tshed_frac\tfloor_limited\treplans\tmissed\talerts\tinjected\tevaded\tevasion\tregret_final\tregret_slope\tslo_violations")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%s\t%d\t%v\t%v\t%.4f\t%.4f\t%v\t%d\t%.4f\t%d\t%d\t%d\t%d\t%d\t%d\t%.4f\t%.4f\t%.4f\t%d\n",
+				r.Scenario, r.Redundancy, r.Governor, r.Replan,
+				r.WorstCoverage, r.AvgCoverage, r.FloorHeld, r.Breaches,
+				r.ShedFraction, r.FloorLimited, r.Replans, r.MissedReplans,
+				r.Alerts, r.Injected, r.Evaded, r.EvasionRate,
+				r.RegretFinal, r.RegretSlope, r.SLOViolations)
+		}
+		if jsonPath != "" {
+			data, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				return "", fmt.Errorf("scenarios: encoding rows: %w", err)
+			}
+			if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+				return "", fmt.Errorf("scenarios: %w", err)
+			}
+			fmt.Fprintf(&b, "# scenarios: %d rows -> %s\n", len(rows), jsonPath)
+		}
+		if assert {
+			if err := assertScenarios(rows); err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "# scenarios: acceptance bar held for all %d rows\n", len(rows))
+		}
+		return b.String(), nil
+	}
+}
+
+// assertScenarios is the machine-checked acceptance bar behind
+// -scenarios-assert: every cell holds its coverage floor under its SLO
+// thresholds, the flood is visible to the data plane, the crafted
+// adversary traffic flows and meets an analyst, and FPL's cumulative
+// regret grows sublinearly.
+func assertScenarios(rows []experiments.ScenarioRow) error {
+	var bad []string
+	for _, r := range rows {
+		if !r.FloorHeld {
+			bad = append(bad, fmt.Sprintf("%s: coverage floor breached (%d breaches)", r.Scenario, r.Breaches))
+		}
+		if r.SLOViolations != 0 {
+			bad = append(bad, fmt.Sprintf("%s: %d SLO violations", r.Scenario, r.SLOViolations))
+		}
+		switch r.Scenario {
+		case "synflood":
+			if r.Alerts == 0 || r.Injected == 0 {
+				bad = append(bad, fmt.Sprintf("synflood: alerts %d injected %d, flood invisible to the data plane", r.Alerts, r.Injected))
+			}
+		case "adversary":
+			if r.Injected == 0 {
+				bad = append(bad, "adversary: no crafted sessions reached the runtime")
+			}
+			if r.RegretSlope >= 1 {
+				bad = append(bad, fmt.Sprintf("adversary: cumulative regret slope %.4f, want sublinear (<1)", r.RegretSlope))
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("scenarios: acceptance bar failed:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
 }
 
 func provisioning(cfg experiments.Config) (string, error) {

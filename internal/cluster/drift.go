@@ -66,6 +66,14 @@ func (d *DriftDetector) relErr() float64 {
 	}
 	var max float64
 	for i, b := range d.base {
+		if b < 1 && d.ewma[i] < 1 {
+			// Both reference and smoothed volume are sub-packet: the unit is
+			// effectively idle on both sides, and the residual is float noise,
+			// not drift. Without this guard an all-zero rebase (e.g. a total
+			// outage epoch) would report every later sub-packet trickle as
+			// absolute error and could pin the detector above threshold.
+			continue
+		}
 		diff := d.ewma[i] - b
 		if diff < 0 {
 			diff = -diff

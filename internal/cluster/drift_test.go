@@ -67,3 +67,53 @@ func TestDriftDetectorEmptyUnitGuard(t *testing.T) {
 		t.Fatal("trickle on empty unit triggered a replan")
 	}
 }
+
+// Regression: rebasing onto an all-zero volume epoch (e.g. a total outage)
+// must not leave the detector perpetually drifted on sub-packet EWMA noise.
+// Before the both-sides-idle guard in relErr, Rebase([0,...]) followed by
+// near-zero observations reported the full residual as absolute error.
+func TestDriftDetectorRebaseAllZeroEpoch(t *testing.T) {
+	d := NewDriftDetector([]float64{100, 200}, 0.5, 0.2)
+	d.Observe([]float64{100, 200})
+	// Outage: nothing observed for long enough that the smoothed volumes
+	// decay below one packet; the operator replans against the dead matrix
+	// and rebases onto all-zero volumes.
+	for i := 0; i < 10; i++ {
+		d.Observe([]float64{0, 0})
+	}
+	d.Rebase([]float64{0, 0})
+	// Sub-packet trickles against a zero base are noise, not drift. (Before
+	// the guard, 0.6 smoothed pkts vs base 0 reported 0.6 absolute error —
+	// triple the 0.2 threshold — and replanned every epoch of the outage.)
+	for i := 0; i < 5; i++ {
+		d.Observe([]float64{0.4, 0.6})
+	}
+	if d.Drifted() {
+		t.Fatalf("sub-packet noise on an all-zero base drifted (err %v)", d.MaxRelErr())
+	}
+	if e := d.MaxRelErr(); e != 0 {
+		t.Fatalf("idle-on-both-sides units should contribute 0 rel err, got %v", e)
+	}
+	// Real traffic returning (>= 1 pkt smoothed) against the zero base must
+	// still register as drift — the guard is only for sub-packet residue.
+	for i := 0; i < 8; i++ {
+		d.Observe([]float64{50, 80})
+	}
+	if !d.Drifted() {
+		t.Fatalf("traffic returning after an all-zero rebase never drifted (err %v)", d.MaxRelErr())
+	}
+}
+
+// Rebase itself recomputes maxErr: rebasing onto the smoothed all-zero state
+// must clear a previously-drifted verdict immediately, not one epoch later.
+func TestDriftDetectorRebaseClearsImmediately(t *testing.T) {
+	d := NewDriftDetector([]float64{100}, 1, 0.2)
+	d.Observe([]float64{0})
+	if !d.Drifted() {
+		t.Fatal("total volume collapse did not drift")
+	}
+	d.Rebase(d.Smoothed())
+	if d.Drifted() || d.MaxRelErr() != 0 {
+		t.Fatalf("rebase onto smoothed zeros left err %v", d.MaxRelErr())
+	}
+}

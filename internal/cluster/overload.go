@@ -199,6 +199,7 @@ func newUnitScales(inst *core.Instance, pv traffic.PathVolumes, series *traffic.
 	us := &unitScales{series: series, means: pv.Items}
 	byPair := map[[2]int][]int{}
 	bySrc := map[int][]int{}
+	byDst := map[int][]int{}
 	for k, p := range pv.Pairs {
 		a, b := p[0], p[1]
 		if a > b {
@@ -206,16 +207,46 @@ func newUnitScales(inst *core.Instance, pv traffic.PathVolumes, series *traffic.
 		}
 		byPair[[2]int{a, b}] = append(byPair[[2]int{a, b}], k)
 		bySrc[p[0]] = append(bySrc[p[0]], k)
+		byDst[p[1]] = append(byDst[p[1]], k)
 	}
 	us.members = make([][]int, len(inst.Units))
 	for ui, u := range inst.Units {
-		if u.Key[1] == -1 {
-			us.members[ui] = bySrc[u.Key[0]]
-		} else {
+		switch {
+		case u.Key[1] != -1:
 			us.members[ui] = byPair[u.Key]
+		case inst.Classes[u.Class].Scope == core.PerEgress:
+			// An egress unit's key is its destination: aggregate the pairs
+			// terminating there, not the ones (if any) originating there.
+			us.members[ui] = byDst[u.Key[0]]
+		default:
+			us.members[ui] = bySrc[u.Key[0]]
 		}
 	}
 	return us
+}
+
+// factors maps per-pair multiplicative factors (nil means 1 everywhere)
+// onto per-unit volume scales, weighting each member pair by its mean
+// volume. Units with no modeled traffic keep scale 1.
+func (us *unitScales) factors(f []float64) []float64 {
+	out := make([]float64, len(us.members))
+	for ui, ks := range us.members {
+		var v, m float64
+		for _, k := range ks {
+			fk := 1.0
+			if f != nil {
+				fk = f[k]
+			}
+			v += us.means[k] * fk
+			m += us.means[k]
+		}
+		if m <= 0 {
+			out[ui] = 1
+			continue
+		}
+		out[ui] = v / m
+	}
+	return out
 }
 
 // scale returns the per-unit volume scale factors for epoch e.

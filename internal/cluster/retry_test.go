@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// Boundary behavior of the backoff growth loop: the delay grows by
+// Multiplier per retry until it reaches MaxDelay, then pins there.
+func TestRetryBackoffCapReached(t *testing.T) {
+	p := RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+		Multiplier:  2,
+	}
+	want := []time.Duration{
+		10 * time.Millisecond,  // attempt 1: base
+		20 * time.Millisecond,  // attempt 2
+		40 * time.Millisecond,  // attempt 3
+		80 * time.Millisecond,  // attempt 4
+		160 * time.Millisecond, // attempt 5
+		320 * time.Millisecond, // attempt 6
+		500 * time.Millisecond, // attempt 7: 640 clamps to the cap
+		500 * time.Millisecond, // attempt 8: pinned
+	}
+	for i, w := range want {
+		if got := p.Backoff(i+1, 7, 0); got != w {
+			t.Fatalf("Backoff(attempt=%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Far past the cap the delay must stay exactly pinned, not overflow.
+	if got := p.Backoff(1000, 7, 0); got != p.MaxDelay {
+		t.Fatalf("Backoff(1000) = %v, want pinned %v", got, p.MaxDelay)
+	}
+}
+
+// A base delay already above the cap clamps on the very first retry —
+// the post-loop clamp, not just the in-loop one.
+func TestRetryBackoffBaseAboveCap(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Second, MaxDelay: 100 * time.Millisecond, Multiplier: 2, MaxAttempts: 4}
+	if got := p.Backoff(1, 1, 0); got != 100*time.Millisecond {
+		t.Fatalf("base above cap: Backoff(1) = %v, want 100ms", got)
+	}
+}
+
+// Attempt 0 (and negative attempts) never enter the growth loop: the
+// delay is the base delay, same as the first retry. The fetch loop is
+// 1-based, but the zero-attempt edge must stay well-defined for callers
+// that compute "wait before first try".
+func TestRetryBackoffZeroAttempt(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 500 * time.Millisecond, Multiplier: 2, MaxAttempts: 4}
+	if got := p.Backoff(0, 3, 0); got != p.BaseDelay {
+		t.Fatalf("Backoff(0) = %v, want base %v", got, p.BaseDelay)
+	}
+	if got, want := p.Backoff(-5, 3, 0), p.Backoff(1, 3, 0); got != want {
+		t.Fatalf("Backoff(-5) = %v, want Backoff(1) = %v", got, want)
+	}
+}
+
+// The jitter stream is a pure function of (seed, draw): identical inputs
+// replay identical delays; advancing the draw counter or changing the
+// seed decorrelates without ever pushing the delay below the unjittered
+// value or past (1 + JitterFrac) of it.
+func TestRetryBackoffJitterDeterministic(t *testing.T) {
+	p := RetryPolicy{
+		BaseDelay:  10 * time.Millisecond,
+		MaxDelay:   500 * time.Millisecond,
+		Multiplier: 2,
+		JitterFrac: 0.5,
+	}
+	base := RetryPolicy{BaseDelay: p.BaseDelay, MaxDelay: p.MaxDelay, Multiplier: p.Multiplier}
+	for attempt := 1; attempt <= 8; attempt++ {
+		raw := base.Backoff(attempt, 0, 0)
+		for draw := int64(0); draw < 4; draw++ {
+			a := p.Backoff(attempt, 42, draw)
+			b := p.Backoff(attempt, 42, draw)
+			if a != b {
+				t.Fatalf("same (seed,draw) replayed different delays: %v vs %v", a, b)
+			}
+			if a < raw || float64(a) > float64(raw)*(1+p.JitterFrac)+1 {
+				t.Fatalf("jittered delay %v outside [%v, %v*1.5]", a, raw, raw)
+			}
+		}
+	}
+	// Distinct draws from one seed must not all collide (a frozen stream
+	// would re-correlate agents that failed together).
+	distinct := map[time.Duration]bool{}
+	for draw := int64(1); draw <= 8; draw++ {
+		distinct[p.Backoff(3, 42, draw)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("8 jitter draws produced %d distinct delays", len(distinct))
+	}
+	// Distinct seeds decorrelate the same draw index across agents.
+	if p.Backoff(3, 1, 5) == p.Backoff(3, 2, 5) && p.Backoff(4, 1, 5) == p.Backoff(4, 2, 5) {
+		t.Fatal("two seeds produced identical jitter streams")
+	}
+}
+
+// The zero value selects documented defaults; explicit fields survive.
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	if p.MaxAttempts != 4 || p.BaseDelay != 10*time.Millisecond ||
+		p.MaxDelay != 500*time.Millisecond || p.Multiplier != 2 || p.JitterFrac != 0 {
+		t.Fatalf("zero-value defaults wrong: %+v", p)
+	}
+	q := RetryPolicy{MaxAttempts: 9, BaseDelay: time.Millisecond, MaxDelay: time.Second, Multiplier: 3, JitterFrac: 0.1}.withDefaults()
+	if q.MaxAttempts != 9 || q.BaseDelay != time.Millisecond || q.MaxDelay != time.Second || q.Multiplier != 3 {
+		t.Fatalf("explicit fields overwritten: %+v", q)
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"nwdeploy/internal/cluster"
+	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/parallel"
+	"nwdeploy/internal/traffic"
+)
+
+// AdaptiveAdversaryScenario is the paper's Section 3.5 threat model made
+// concrete against the cluster runtime: an adversary who reads the
+// published manifests (and published shed) each epoch, finds the
+// least-covered segments of every coordination unit's hash space, and
+// crafts sessions whose selection-hash lands inside them. Against an
+// intact r>=1 floor every crafted session still meets an analyst — the
+// evasion rate is the empirical check that publishing manifests does not
+// hand the adversary a hole.
+type AdaptiveAdversaryScenario struct {
+	// Sessions is the number of crafted sessions per epoch.
+	Sessions int
+	// Targets bounds how many weak segments are attacked per epoch.
+	Targets int
+	// Attempts bounds the per-session rejection sampling for a tuple whose
+	// hash lands in the chosen segment (narrow segments need more tries;
+	// on exhaustion the last candidate is used).
+	Attempts int
+	// Seed drives the tuple search.
+	Seed int64
+}
+
+// NewAdaptiveAdversary builds the catalog-default adversary: 80 crafted
+// sessions per epoch against the 16 weakest segments.
+func NewAdaptiveAdversary(seed int64) *AdaptiveAdversaryScenario {
+	return &AdaptiveAdversaryScenario{Sessions: 80, Targets: 16, Attempts: 400, Seed: seed}
+}
+
+// Name implements Scenario.
+func (s *AdaptiveAdversaryScenario) Name() string { return "adversary" }
+
+// Step implements Scenario.
+func (s *AdaptiveAdversaryScenario) Step(env *cluster.ScenarioEnv) cluster.Stimulus {
+	// Weak segments of pair-keyed units only: those give the adversary a
+	// concrete ingress/egress to send between. The list is already sorted
+	// least-covered first.
+	var weak []cluster.WeakRange
+	for _, wr := range env.WeakRanges(0) {
+		if wr.Key[1] >= 0 {
+			weak = append(weak, wr)
+		}
+		if s.Targets > 0 && len(weak) >= s.Targets {
+			break
+		}
+	}
+	if len(weak) == 0 {
+		return cluster.Stimulus{}
+	}
+	inject := make([]traffic.Session, 0, s.Sessions)
+	for i := 0; i < s.Sessions; i++ {
+		wr := weak[i%len(weak)]
+		src, dst := wr.Key[0], wr.Key[1]
+		var t hashing.FiveTuple
+		for a := 0; a < s.Attempts; a++ {
+			h := uint64(parallel.SplitSeed(s.Seed, int64(env.Epoch)<<40|int64(i)<<16|int64(a)))
+			t = hashing.FiveTuple{
+				SrcIP:   uint32(10<<24|src<<16) | uint32(h&0xffff),
+				DstIP:   uint32(10<<24|dst<<16) | uint32((h>>16)&0xff),
+				SrcPort: uint16(1024 + (h>>24)&0x7fff),
+				DstPort: 80,
+				Proto:   6,
+			}
+			x := env.Hash(wr.Class, t)
+			if x >= wr.Range.Lo && x < wr.Range.Hi {
+				break
+			}
+		}
+		inject = append(inject, traffic.Session{
+			Tuple: t,
+			Src:   src, Dst: dst,
+			ID:      1<<22 | env.Epoch<<12 | i&0xfff,
+			Proto:   traffic.HTTP,
+			Packets: 25,
+			Bytes:   25 * 700,
+		})
+	}
+	return cluster.Stimulus{Inject: inject}
+}

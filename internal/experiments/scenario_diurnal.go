@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"nwdeploy/internal/cluster"
+	"nwdeploy/internal/traffic"
+)
+
+// DiurnalScenario modulates the gravity traffic matrix with the seeded
+// per-pair diurnal sinusoid: slow, predictable drift that exercises the
+// EWMA drift detector and the warm-replan path without any adversarial
+// pressure. Pure traffic mutator — no faults, no injections.
+type DiurnalScenario struct {
+	Cfg traffic.DiurnalConfig
+}
+
+// NewDiurnal builds the catalog-default diurnal scenario: amplitude 0.45
+// with the cycle folded into the run horizon so a short run still sweeps a
+// full day.
+func NewDiurnal(seed int64, epochs int) *DiurnalScenario {
+	period := epochs
+	if period < 2 {
+		period = 2
+	}
+	return &DiurnalScenario{Cfg: traffic.DiurnalConfig{
+		Period: period, Amplitude: 0.45, Seed: seed,
+	}}
+}
+
+// Name implements Scenario.
+func (s *DiurnalScenario) Name() string { return "diurnal" }
+
+// Step implements Scenario.
+func (s *DiurnalScenario) Step(env *cluster.ScenarioEnv) cluster.Stimulus {
+	return cluster.Stimulus{
+		PairScale: traffic.DiurnalFactors(len(env.Pairs), env.Epoch, s.Cfg),
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"nwdeploy/internal/cluster"
+	"nwdeploy/internal/traffic"
+)
+
+// FlashCrowdScenario ramps every pair touching one ingress through a
+// triangular volume spike: concentrated overload that a global burst
+// factor cannot model, aimed at the governor's per-node shed decision on
+// exactly the nodes that carry the hot ingress's paths.
+type FlashCrowdScenario struct {
+	Cfg traffic.FlashConfig
+}
+
+// NewFlashCrowd builds the catalog-default flash crowd: a 5x peak on
+// ingress 0, centered in the run.
+func NewFlashCrowd(epochs int) *FlashCrowdScenario {
+	dur := epochs / 2
+	if dur < 2 {
+		dur = 2
+	}
+	return &FlashCrowdScenario{Cfg: traffic.FlashConfig{
+		Ingress: 0, Peak: 5, Start: 1 + epochs/4, Duration: dur,
+	}}
+}
+
+// Name implements Scenario.
+func (s *FlashCrowdScenario) Name() string { return "flashcrowd" }
+
+// Step implements Scenario.
+func (s *FlashCrowdScenario) Step(env *cluster.ScenarioEnv) cluster.Stimulus {
+	return cluster.Stimulus{
+		PairScale: traffic.FlashFactors(env.Pairs, env.Epoch, s.Cfg),
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"nwdeploy/internal/chaos"
+	"nwdeploy/internal/cluster"
+)
+
+// MaintenanceScenario walks planned drains across the fleet on the rolling
+// schedule from internal/chaos, optionally mixed with a seeded crash
+// schedule: the drain-vs-crash contrast is the point, since drains retain
+// manifests across the window while crashes lose them. With group size
+// below the provisioned redundancy the r-1 tolerance keeps wire coverage
+// whole through the entire rolling window.
+type MaintenanceScenario struct {
+	// Drain parameterizes the rolling window; Nodes is taken from the env
+	// when zero.
+	Drain chaos.DrainConfig
+	// Crashes, when non-nil, overlays unplanned failures on the planned
+	// window (an epoch-indexed schedule, as built by chaos.BuildSchedule).
+	Crashes *chaos.Schedule
+
+	plan      *chaos.DrainPlan
+	planNodes int
+}
+
+// NewMaintenance builds the catalog-default rolling maintenance: one node
+// at a time, one epoch in the bay and one epoch of settling, starting at
+// epoch 2, no crash overlay.
+func NewMaintenance(epochs int) *MaintenanceScenario {
+	return &MaintenanceScenario{Drain: chaos.DrainConfig{
+		Epochs: epochs, Group: 1, Dwell: 1, Gap: 1, Start: 1,
+	}}
+}
+
+// Name implements Scenario.
+func (s *MaintenanceScenario) Name() string { return "maintenance" }
+
+// Step implements Scenario.
+func (s *MaintenanceScenario) Step(env *cluster.ScenarioEnv) cluster.Stimulus {
+	cfg := s.Drain
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = env.Nodes
+	}
+	if cfg.Epochs < env.Epochs {
+		cfg.Epochs = env.Epochs
+	}
+	if s.plan == nil || s.planNodes != cfg.Nodes {
+		s.plan = chaos.RollingDrains(cfg)
+		s.planNodes = cfg.Nodes
+	}
+	var st cluster.Stimulus
+	if e := env.Epoch - 1; e >= 0 && e < len(s.plan.Drains) {
+		st.Drains = s.plan.Drains[e]
+	}
+	if s.Crashes != nil {
+		if e := env.Epoch - 1; e >= 0 && e < len(s.Crashes.Epochs) {
+			st.Faults = s.Crashes.Epochs[e]
+		}
+	}
+	return st
+}

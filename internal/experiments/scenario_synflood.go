@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"nwdeploy/internal/cluster"
+	"nwdeploy/internal/hashing"
+	"nwdeploy/internal/parallel"
+	"nwdeploy/internal/traffic"
+)
+
+// SYNFloodScenario injects a spoofed-source TCP flood at one victim node
+// during a window of epochs: enough distinct connections per epoch to
+// cross the SYNFlood module's per-destination threshold, so the flood is
+// observable in alerts when the data plane runs, and heavy enough in
+// packet volume to lean on the victim-egress unit under the governor.
+// Sources rotate over every other node (a distributed flood), with
+// per-epoch re-randomized spoofed addresses.
+type SYNFloodScenario struct {
+	// Victim is the target node; the flood converges on one host behind it.
+	Victim int
+	// Floods is the injected connection count per flood epoch. The module
+	// alerts above 500 connections per destination.
+	Floods int
+	// Start and Duration bound the flood window in epochs (1-based start).
+	Start, Duration int
+	// Seed re-randomizes the spoofed sources each epoch.
+	Seed int64
+}
+
+// NewSYNFlood builds the catalog-default flood: 650 connections per epoch
+// at node 2, switched on for the middle half of the run.
+func NewSYNFlood(seed int64, epochs int) *SYNFloodScenario {
+	dur := epochs / 2
+	if dur < 1 {
+		dur = 1
+	}
+	return &SYNFloodScenario{
+		Victim: 2, Floods: 650, Start: 1 + epochs/4, Duration: dur, Seed: seed,
+	}
+}
+
+// Name implements Scenario.
+func (s *SYNFloodScenario) Name() string { return "synflood" }
+
+// Step implements Scenario.
+func (s *SYNFloodScenario) Step(env *cluster.ScenarioEnv) cluster.Stimulus {
+	if env.Epoch < s.Start || env.Epoch >= s.Start+s.Duration {
+		return cluster.Stimulus{}
+	}
+	victim := s.Victim % env.Nodes
+	inject := make([]traffic.Session, 0, s.Floods)
+	for i := 0; i < s.Floods; i++ {
+		src := i % env.Nodes
+		if src == victim {
+			src = (src + 1) % env.Nodes
+		}
+		// Spoofed source address: fresh 16 bits of host entropy per
+		// (epoch, connection), drawn from the scenario seed.
+		h := uint64(parallel.SplitSeed(s.Seed, int64(env.Epoch)<<32|int64(i)))
+		inject = append(inject, traffic.Session{
+			Tuple: hashing.FiveTuple{
+				SrcIP:   uint32(10<<24|src<<16) | uint32(h&0xffff),
+				DstIP:   uint32(10<<24 | victim<<16 | 80),
+				SrcPort: uint16(1024 + (h>>16)&0x7fff),
+				DstPort: 80,
+				Proto:   6,
+			},
+			Src: src, Dst: victim,
+			ID:      1<<21 | env.Epoch<<12 | i&0xfff,
+			Proto:   traffic.HTTP,
+			Packets: 3, // SYN, SYN-ACK, RST: half-open handshakes
+			Bytes:   3 * 60,
+		})
+	}
+	return cluster.Stimulus{Inject: inject}
+}

@@ -195,7 +195,7 @@ func RunVsAdversary(inst *nips.Instance, adv Adversary, cfg RunConfig) (*Adversa
 			if err != nil {
 				return nil, err
 			}
-			pt := RegretPoint{Epoch: t}
+			pt := RegretPoint{Epoch: t, Cumulative: staticTotal - res.FPLTotal}
 			if staticTotal > 0 {
 				pt.Normalized = (staticTotal - res.FPLTotal) / staticTotal
 			}

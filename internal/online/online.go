@@ -252,6 +252,11 @@ type RegretPoint struct {
 	// cumulative objective. Negative values mean the online algorithm beat
 	// the best static choice so far.
 	Normalized float64
+	// Cumulative is the raw (unnormalized) cumulative regret at this
+	// sample: the hindsight static optimum's total minus FPL's total.
+	// Theorem 3.1 promises it grows sublinearly in the epoch count — the
+	// property RegretSlope estimates from a series of these.
+	Cumulative float64
 }
 
 // RunConfig parameterizes a Figure 11 style experiment.
@@ -305,7 +310,7 @@ func Run(inst *nips.Instance, cfg RunConfig) ([]RegretPoint, error) {
 			if err != nil {
 				return nil, err
 			}
-			pt := RegretPoint{Epoch: t}
+			pt := RegretPoint{Epoch: t, Cumulative: staticTotal - fplTotal}
 			if staticTotal > 0 {
 				pt.Normalized = (staticTotal - fplTotal) / staticTotal
 			}

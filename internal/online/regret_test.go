@@ -1,0 +1,60 @@
+package online
+
+import (
+	"math"
+	"testing"
+)
+
+// synthetic builds a sampled series with cumulative regret C(t) = c * t^p.
+func synthetic(p, c float64, epochs, every int) []RegretPoint {
+	var s []RegretPoint
+	for t := every; t <= epochs; t += every {
+		s = append(s, RegretPoint{Epoch: t, Cumulative: c * math.Pow(float64(t), p)})
+	}
+	return s
+}
+
+func TestRegretSlopeRecoversExponent(t *testing.T) {
+	for _, p := range []float64{0.5, 1.0, 0.8} {
+		got := RegretSlope(synthetic(p, 3.7, 400, 25))
+		if math.Abs(got-p) > 1e-9 {
+			t.Fatalf("exact power law t^%v estimated slope %v", p, got)
+		}
+	}
+}
+
+func TestRegretSlopeDegenerateSeries(t *testing.T) {
+	if s := RegretSlope(nil); s != 0 {
+		t.Fatalf("empty series slope %v", s)
+	}
+	if s := RegretSlope([]RegretPoint{{Epoch: 10, Cumulative: 5}}); s != 0 {
+		t.Fatalf("single-sample slope %v", s)
+	}
+	// FPL beating the static benchmark (negative cumulative regret) is
+	// reported as 0 — trivially sublinear, never NaN from log of negatives.
+	neg := []RegretPoint{
+		{Epoch: 10, Cumulative: 4}, {Epoch: 20, Cumulative: -1},
+		{Epoch: 30, Cumulative: -2}, {Epoch: 40, Cumulative: -3},
+	}
+	if s := RegretSlope(neg); s != 0 || math.IsNaN(s) {
+		t.Fatalf("negative-regret series slope %v", s)
+	}
+}
+
+// The transient is excluded: a series whose first half grows linearly but
+// whose second half has flattened to sqrt must report the asymptotic
+// exponent, not the transient's.
+func TestRegretSlopeIgnoresTransient(t *testing.T) {
+	var s []RegretPoint
+	for t0 := 20; t0 <= 200; t0 += 20 {
+		c := float64(t0) // linear transient
+		if t0 > 100 {
+			c = 100 * math.Sqrt(float64(t0)/100) // sqrt tail, continuous at 100
+		}
+		s = append(s, RegretPoint{Epoch: t0, Cumulative: c})
+	}
+	got := RegretSlope(s)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("slope %v, want the 0.5 tail exponent", got)
+	}
+}

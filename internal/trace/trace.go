@@ -81,6 +81,10 @@ const (
 	EvReplanCold   = "replan_cold"   // runtime: cold re-solve landed (attrs: iters)
 	EvDeadlineMiss = "deadline_miss" // runtime: re-solve hit the iteration deadline
 
+	// Scenario machinery.
+	EvDrain  = "drain"  // agent: planned maintenance drain, manifest retained
+	EvInject = "inject" // runtime: scenario injected extra sessions this epoch (attrs: count)
+
 	// Audit & watchdog.
 	EvCoverage          = "coverage_audit"     // runtime: achieved vs predicted coverage
 	EvCoverageViolation = "coverage_violation" // runtime: achieved fell below predicted
@@ -97,6 +101,7 @@ func KnownTypes() []string {
 		EvEngineRun,
 		EvDrift, EvOverrun, EvShedPlanned, EvShedRestore, EvFloorLimited,
 		EvReplanWarm, EvReplanCold, EvDeadlineMiss,
+		EvDrain, EvInject,
 		EvCoverage, EvCoverageViolation, EvSLOViolation, EvDump,
 	}
 }

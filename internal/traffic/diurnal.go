@@ -1,0 +1,122 @@
+package traffic
+
+import (
+	"math"
+
+	"nwdeploy/internal/parallel"
+)
+
+// Diurnal and flash-crowd factor generators: multiplicative per-pair
+// volume modulation for the scenario layer. Where BurstySeries synthesizes
+// a whole epoch series up front, these produce one epoch's factors on
+// demand — scenario drivers compose them (a flash crowd rides on top of
+// the diurnal swing) by multiplying factor vectors elementwise. Both are
+// pure functions of (config, epoch), so scenario replays are bit-for-bit
+// reproducible at any worker count.
+
+// DiurnalConfig shapes the sinusoidal day/night swing.
+type DiurnalConfig struct {
+	// Period is the cycle length in epochs (0 selects 24).
+	Period int
+	// Amplitude is the peak-to-mean swing fraction in (0, 1); volumes vary
+	// in [1-Amplitude, 1+Amplitude] times the mean. Zero selects 0.4;
+	// values are clamped below 1 so factors stay positive.
+	Amplitude float64
+	// Seed dephases pairs: each pair's peak hour is drawn from the seed, so
+	// the matrix tilts over the cycle instead of scaling uniformly (the
+	// drift that forces replans, not just governor absorption).
+	Seed int64
+}
+
+func (c DiurnalConfig) withDefaults() DiurnalConfig {
+	if c.Period <= 0 {
+		c.Period = 24
+	}
+	if c.Amplitude == 0 {
+		c.Amplitude = 0.4
+	}
+	if c.Amplitude >= 1 {
+		c.Amplitude = 0.95
+	}
+	if c.Amplitude < 0 {
+		c.Amplitude = 0
+	}
+	return c
+}
+
+// DiurnalFactors returns the per-pair multiplicative factors for one epoch
+// of the diurnal cycle: factor[k] = 1 + A*sin(2π(epoch/Period + phase_k)),
+// with phase_k seeded per pair.
+func DiurnalFactors(nPairs, epoch int, cfg DiurnalConfig) []float64 {
+	cfg = cfg.withDefaults()
+	// Fold the epoch into the cycle in integer space so the series is
+	// bitwise periodic (float 2π(e+P)/P and 2π·e/P + 2π round differently).
+	em := epoch % cfg.Period
+	if em < 0 {
+		em += cfg.Period
+	}
+	out := make([]float64, nPairs)
+	for k := range out {
+		phase := float64(uint64(parallel.SplitSeed(cfg.Seed, int64(k)))>>11) / (1 << 53)
+		out[k] = 1 + cfg.Amplitude*math.Sin(2*math.Pi*(float64(em)/float64(cfg.Period)+phase))
+	}
+	return out
+}
+
+// FlashConfig shapes a flash crowd: a transient volume spike concentrated
+// on every pair touching one ingress node.
+type FlashConfig struct {
+	// Ingress is the node the crowd converges on: every pair with this
+	// node as source or destination spikes. Negative selects node 0.
+	Ingress int
+	// Peak is the multiplicative factor at the crowd's height (0 selects 6).
+	Peak float64
+	// Start is the first epoch of the crowd (0-based).
+	Start int
+	// Duration is the crowd's length in epochs (0 selects 4). The factor
+	// ramps linearly up to Peak at the midpoint and back down — the
+	// build-up/decay shape of real flash crowds, and a harder test for the
+	// drift detector than a step.
+	Duration int
+}
+
+func (c FlashConfig) withDefaults() FlashConfig {
+	if c.Ingress < 0 {
+		c.Ingress = 0
+	}
+	if c.Peak == 0 {
+		c.Peak = 6
+	}
+	if c.Peak < 1 {
+		c.Peak = 1
+	}
+	if c.Duration <= 0 {
+		c.Duration = 4
+	}
+	return c
+}
+
+// FlashFactors returns the per-pair factors for one epoch of a flash
+// crowd: 1 everywhere except pairs touching the ingress during the event
+// window, which ramp to Peak and back.
+func FlashFactors(pairs [][2]int, epoch int, cfg FlashConfig) []float64 {
+	cfg = cfg.withDefaults()
+	out := make([]float64, len(pairs))
+	for k := range out {
+		out[k] = 1
+	}
+	rel := epoch - cfg.Start
+	if rel < 0 || rel >= cfg.Duration {
+		return out
+	}
+	// Triangular ramp: 0 at the window edges, 1 at the midpoint.
+	pos := (float64(rel) + 0.5) / float64(cfg.Duration)
+	ramp := 1 - math.Abs(2*pos-1)
+	f := 1 + (cfg.Peak-1)*ramp
+	for k, p := range pairs {
+		if p[0] == cfg.Ingress || p[1] == cfg.Ingress {
+			out[k] = f
+		}
+	}
+	return out
+}

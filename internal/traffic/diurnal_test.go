@@ -1,0 +1,79 @@
+package traffic
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestDiurnalFactorsDeterministicAndBounded(t *testing.T) {
+	cfg := DiurnalConfig{Period: 12, Amplitude: 0.4, Seed: 9}
+	for e := 0; e < 24; e++ {
+		a := DiurnalFactors(20, e, cfg)
+		b := DiurnalFactors(20, e, cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("epoch %d: same config produced different factors", e)
+		}
+		for k, f := range a {
+			if f < 1-cfg.Amplitude-1e-12 || f > 1+cfg.Amplitude+1e-12 {
+				t.Fatalf("epoch %d pair %d: factor %v outside 1±%v", e, k, f, cfg.Amplitude)
+			}
+		}
+	}
+	// One full period later the cycle repeats exactly.
+	if a, b := DiurnalFactors(20, 3, cfg), DiurnalFactors(20, 3+cfg.Period, cfg); !reflect.DeepEqual(a, b) {
+		t.Fatal("diurnal cycle not periodic")
+	}
+}
+
+// Seeded phases must dephase pairs: a uniform swing would never tilt the
+// matrix, so the whole point of the scenario (drift, not just load) would
+// vanish.
+func TestDiurnalFactorsDephased(t *testing.T) {
+	f := DiurnalFactors(16, 0, DiurnalConfig{Seed: 9})
+	distinct := map[float64]bool{}
+	for _, v := range f {
+		distinct[v] = true
+	}
+	if len(distinct) < 8 {
+		t.Fatalf("16 pairs produced only %d distinct phases", len(distinct))
+	}
+	// A different seed permutes the phases.
+	g := DiurnalFactors(16, 0, DiurnalConfig{Seed: 10})
+	if reflect.DeepEqual(f, g) {
+		t.Fatal("two seeds produced identical phase assignments")
+	}
+}
+
+func TestFlashFactorsWindowAndTarget(t *testing.T) {
+	pairs := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}}
+	cfg := FlashConfig{Ingress: 3, Peak: 6, Start: 2, Duration: 4}
+	// Outside the window every factor is 1.
+	for _, e := range []int{0, 1, 6, 7} {
+		for k, f := range FlashFactors(pairs, e, cfg) {
+			if f != 1 {
+				t.Fatalf("epoch %d pair %d: factor %v outside the event window", e, k, f)
+			}
+		}
+	}
+	// Inside: only pairs touching the ingress spike, peaking mid-window.
+	var peak float64
+	for e := 2; e < 6; e++ {
+		f := FlashFactors(pairs, e, cfg)
+		for k, p := range pairs {
+			touches := p[0] == cfg.Ingress || p[1] == cfg.Ingress
+			if !touches && f[k] != 1 {
+				t.Fatalf("epoch %d: non-ingress pair %v scaled %v", e, p, f[k])
+			}
+			if touches {
+				if f[k] < 1 || f[k] > cfg.Peak {
+					t.Fatalf("epoch %d: ingress factor %v outside [1, %v]", e, f[k], cfg.Peak)
+				}
+				peak = math.Max(peak, f[k])
+			}
+		}
+	}
+	if peak < cfg.Peak*0.7 {
+		t.Fatalf("ramp never approached the configured peak: max %v of %v", peak, cfg.Peak)
+	}
+}
