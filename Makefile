@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check race bench fuzz vet test build trace allocs audit scenarios
+.PHONY: check race bench fuzz vet test build trace allocs audit scenarios telemetry
 
 # Tier-1 verification: everything must build, vet cleanly, pass the full
-# test suite, and hold the scenario grid's acceptance bar.
-check: build vet test scenarios
+# test suite, and hold the scenario grid's acceptance bar and the fleet
+# telemetry plane's acceptance loop.
+check: build vet test scenarios telemetry
 
 build:
 	$(GO) build ./...
@@ -25,7 +26,8 @@ vet:
 race: vet
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/chaos/ ./internal/cluster/ ./internal/governor/ \
-		./internal/bro/ ./internal/conntrack/ ./internal/control/ ./internal/ledger/
+		./internal/bro/ ./internal/conntrack/ ./internal/control/ ./internal/ledger/ \
+		./internal/telemetry/
 	$(GO) test -race -count=1 -run 'Scenario|Diurnal|Flash|Maintenance|Regret' \
 		./internal/experiments/ ./internal/traffic/ ./internal/online/
 
@@ -84,6 +86,7 @@ bench:
 		-basejitter 0.05 -probes 500 -seed 5 \
 		-trace BENCH_trace.jsonl -metrics BENCH_trace.json >/dev/null
 	$(GO) run ./cmd/auditcheck -bench -o BENCH_ledger.json
+	$(GO) run ./cmd/fleetstat -bench -o BENCH_telemetry.json
 	$(GO) run ./cmd/experiments -only scenarios -scenarios-json BENCH_scenarios.json \
 		-scenarios-assert >/dev/null
 
@@ -97,6 +100,15 @@ bench:
 # (non-quick) grid is the bench-tier run that leaves BENCH_scenarios.json.
 scenarios:
 	$(GO) run ./cmd/experiments -quick -only scenarios -scenarios-assert >/dev/null
+
+# Telemetry tier: the fleet plane's acceptance loop, wired into check. The
+# selftest runs a scenario cluster with a crash and a planned drain, serves
+# the debug HTTP surface on a loopback port, scrapes /fleet, /fleet/history,
+# and /metrics.prom over the wire, and fails unless the crashed node
+# classifies dark and the draining node stale within one epoch and the
+# Prometheus exposition validates structurally.
+telemetry:
+	$(GO) run ./cmd/fleetstat -selftest >/dev/null
 
 # Audit tier: smoke the tamper-evident ledger end to end. A seeded chaos
 # run and a seeded overload run each record their audit chain; auditcheck

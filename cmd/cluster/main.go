@@ -16,6 +16,7 @@
 //	        [-slo-worst-cov 0] [-slo-avg-cov 0] [-slo-max-shed -1]
 //	        [-slo-max-replan-iters -1] [-slo-max-fetch-fail -1]
 //	        [-slo-max-dark -1] [-slo-deadline-miss] [-ledger auditdir]
+//	        [-fleet] [-pprof 127.0.0.1:6060]
 //	cluster -overload [-burstfactor 4] [-burstprob 0.15] [-governor]
 //	        [-replan] [-warmreplan] [-replanthreshold 0.2] [-replanmaxiters 0]
 //	        [common flags as above]
@@ -52,6 +53,15 @@
 // basis with -warmreplan, bounded by -replanmaxiters simplex iterations
 // (a miss falls back to the governors' shed state).
 //
+// With -fleet the run additionally collects the fleet telemetry plane
+// (internal/telemetry): each node's compact stats report rides its
+// existing control-plane exchanges, the controller folds reports into a
+// per-epoch health rollup (healthy / stale / shedding / dark), and the
+// rollup prints as a second table after the run. The plane is write-only:
+// the report tables above are byte-identical with or without it. While the
+// run executes, -pprof serves the debug HTTP surface (obshttp.NewMux),
+// including /fleet and /fleet/history for live scraping with cmd/fleetstat.
+//
 // With -ledger DIR the run additionally writes its tamper-evident audit
 // ledger (internal/ledger): chain.jsonl (the hash-chained record log),
 // objects/ (content-addressed manifest and trace blobs), and HEAD (the
@@ -77,6 +87,8 @@ import (
 	"nwdeploy/internal/experiments"
 	"nwdeploy/internal/ledger"
 	"nwdeploy/internal/obs"
+	"nwdeploy/internal/obs/obshttp"
+	"nwdeploy/internal/telemetry"
 	"nwdeploy/internal/topology"
 	"nwdeploy/internal/trace"
 )
@@ -122,6 +134,8 @@ func main() {
 	replanMaxIters := flag.Int("replanmaxiters", 0, "overload: simplex-iteration deadline per replan (0 = none; a miss falls back to shed state)")
 	scenario := flag.String("scenario", "", "run a named composable scenario (diurnal, flashcrowd, synflood, maintenance, adversary, or a + composition) instead of fault injection")
 	dataPlane := flag.Bool("dataplane", false, "scenario: run each agent's analysis engine over its traffic share every epoch")
+	fleetOn := flag.Bool("fleet", false, "collect fleet telemetry (per-node stats piggybacked on the control wire) and print the per-epoch health rollup")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /debug/vars, /metrics, /trace, /fleet, and /fleet/history on this address while the run executes")
 	flag.Parse()
 
 	var topo *topology.Topology
@@ -143,6 +157,33 @@ func main() {
 	}
 
 	metrics := obs.New()
+	var fleet *telemetry.Fleet
+	var fleetHist *telemetry.History
+	if *fleetOn {
+		fleet = telemetry.NewFleet(topo.N(), telemetry.FleetOptions{})
+		fleetHist = telemetry.NewHistory(*epochs)
+	}
+	// printFleet renders the controller's per-epoch health rollup — its
+	// wire truth, which deliberately lags node-local state by the delivery
+	// epoch (see internal/cluster/fleet.go).
+	printFleet := func() {
+		if fleetHist == nil {
+			return
+		}
+		fmt.Println("# fleet health (controller wire truth)")
+		fmt.Println("epoch\tctrl_epoch\thealthy\tstale\tshedding\tdark\tdark_nodes")
+		for _, s := range fleetHist.Snapshots() {
+			var darkNodes []int
+			for _, v := range s.Nodes {
+				if v.Health == telemetry.Dark {
+					darkNodes = append(darkNodes, v.Node)
+				}
+			}
+			fmt.Printf("%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+				s.RunEpoch, s.CtrlEpoch, s.Healthy, s.Stale, s.Shedding, s.Dark,
+				nodeList(darkNodes))
+		}
+	}
 	var tracer *trace.Tracer
 	var traceFile *os.File
 	var traceBuf bytes.Buffer // retained copy of the dump for the ledger's trace record
@@ -154,6 +195,17 @@ func main() {
 		traceFile = f
 		tracer = trace.New(trace.Options{Seed: *seed, RingSize: *ringSize})
 		tracer.SetSink(io.MultiWriter(f, &traceBuf))
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			err := obshttp.ServeOpts(*pprofAddr, obshttp.Options{
+				Registry: metrics, Tracer: tracer, Fleet: fleet, History: fleetHist,
+			})
+			if err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	var led *ledger.Ledger
@@ -248,6 +300,7 @@ func main() {
 			StaleGrace: *staleGrace, DataPlane: *dataPlane,
 			Workers: *workers, Probes: *probes, Metrics: metrics,
 			Trace: tracer, Watchdog: watchdog, Ledger: led,
+			Fleet: fleet, FleetHistory: fleetHist,
 		}
 		if strings.Contains(*scenario, "synflood") && *redundancy == 1 {
 			// The flood targets the egress-scoped SYNFlood module, which
@@ -287,6 +340,7 @@ func main() {
 		} else {
 			fmt.Printf("# verdict: coverage floor BREACHED on %d epochs (post-mortem in the trace dump)\n", rep.Breaches)
 		}
+		printFleet()
 		finishTrace()
 		finishLedger()
 		if *metricsPath != "" {
@@ -307,6 +361,7 @@ func main() {
 			ReplanThreshold: *replanThreshold, ReplanMaxIters: *replanMaxIters,
 			Workers: *workers, Probes: *probes, Metrics: metrics,
 			Trace: tracer, Watchdog: watchdog, Ledger: led,
+			Fleet: fleet, FleetHistory: fleetHist,
 		}
 		rep, err := cluster.RunOverload(ocfg)
 		if err != nil {
@@ -326,6 +381,7 @@ func main() {
 		fmt.Printf("# summary: worst coverage %.4f, avg %.4f, max over-budget nodes %d, replans %d (missed %d, %d iters)\n",
 			rep.WorstCoverage, rep.AvgCoverage, rep.MaxOverBudget,
 			rep.Replans, rep.MissedReplans, rep.TotalReplanIters)
+		printFleet()
 		finishTrace()
 		finishLedger()
 		if *metricsPath != "" {
@@ -371,6 +427,8 @@ func main() {
 	cfg.Trace = tracer
 	cfg.Watchdog = watchdog
 	cfg.Ledger = led
+	cfg.Fleet = fleet
+	cfg.FleetHistory = fleetHist
 
 	rep, err := cluster.CoverageUnderChaos(cfg)
 	if err != nil {
@@ -398,6 +456,7 @@ func main() {
 		fmt.Printf("# verdict: coverage guarantee VIOLATED on at least one epoch\n")
 	}
 
+	printFleet()
 	finishTrace()
 	finishLedger()
 	if *metricsPath != "" {

@@ -5,8 +5,10 @@ import (
 	"net"
 	"time"
 
+	"nwdeploy/internal/bro"
 	"nwdeploy/internal/chaos"
 	"nwdeploy/internal/control"
+	"nwdeploy/internal/telemetry"
 	"nwdeploy/internal/trace"
 	"nwdeploy/internal/traffic"
 )
@@ -97,6 +99,16 @@ type NodeAgent struct {
 	// span is the agent's trace context for the current epoch (zero when
 	// untraced), set by the cluster at the top of each fetch phase.
 	span trace.Span
+
+	// Telemetry inputs, written by the epoch loop regardless of whether a
+	// fleet is attached (plain struct stores, read only by sampleFleet):
+	// lastEngine is the node's most recent data-plane report, lastFloor
+	// the governor's floor-limited verdict, lastStats the stats collected
+	// at the last sampleFleet while the node was up — the drain farewell's
+	// source.
+	lastEngine bro.Report
+	lastFloor  bool
+	lastStats  telemetry.NodeStats
 }
 
 func newNodeAgent(node int, addr string, opts control.AgentOptions, sync control.SubscribeOptions, retry RetryPolicy, grace int, jitterSeed int64, trace []traffic.Session) *NodeAgent {

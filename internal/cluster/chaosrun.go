@@ -9,6 +9,7 @@ import (
 	"nwdeploy/internal/ledger"
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/parallel"
+	"nwdeploy/internal/telemetry"
 	"nwdeploy/internal/topology"
 	"nwdeploy/internal/trace"
 	"nwdeploy/internal/traffic"
@@ -80,6 +81,10 @@ type ChaosConfig struct {
 	// Ledger, when non-nil, receives the run's tamper-evident audit chain
 	// (see Options.Ledger). Write-only.
 	Ledger *ledger.Ledger
+	// Fleet/FleetHistory turn on the fleet telemetry plane (see
+	// Options.Fleet). Write-only: reports are DeepEqual with or without.
+	Fleet        *telemetry.Fleet
+	FleetHistory *telemetry.History
 }
 
 // ChaosReport is a full chaos run: the solved deployment's parameters and
@@ -159,6 +164,7 @@ func CoverageUnderChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		Deltas: cfg.Deltas, Encoding: cfg.Encoding,
 		Workers: cfg.Workers, Probes: cfg.Probes, Metrics: cfg.Metrics,
 		Trace: cfg.Trace, Watchdog: cfg.Watchdog, Ledger: cfg.Ledger,
+		Fleet: cfg.Fleet, FleetHistory: cfg.FleetHistory,
 	})
 	if err != nil {
 		return nil, err

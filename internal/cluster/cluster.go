@@ -27,6 +27,7 @@ import (
 	"nwdeploy/internal/ledger"
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/parallel"
+	"nwdeploy/internal/telemetry"
 	"nwdeploy/internal/topology"
 	"nwdeploy/internal/trace"
 	"nwdeploy/internal/traffic"
@@ -104,6 +105,16 @@ type Options struct {
 	// without it, and same-seed chains are byte-identical across Workers
 	// values and across processes.
 	Ledger *ledger.Ledger
+	// Fleet, when non-nil, turns on the fleet telemetry plane: each
+	// agent's end-of-epoch NodeStats ride its next wire exchange into the
+	// controller, and the runtime closes one FleetSnapshot per epoch.
+	// Stats piggyback on exchanges the agents were already making, so the
+	// chaos fault streams see an identical dial sequence — reports are
+	// DeepEqual with the plane on or off, and snapshots (wall-clock field
+	// aside) are identical across Workers values. FleetHistory, when also
+	// non-nil, retains the per-epoch snapshots in a fixed-capacity ring.
+	Fleet        *telemetry.Fleet
+	FleetHistory *telemetry.History
 }
 
 // EpochReport is one epoch's outcome: the control-plane weather, what the
@@ -203,7 +214,7 @@ func New(opts Options) (*Cluster, error) {
 	gate := chaos.NewGate(ln)
 	ctrl, err := control.NewControllerOpts("", control.ControllerOptions{
 		HashKey: opts.HashKey, Metrics: opts.Metrics, Listener: gate,
-		Ledger: opts.Ledger,
+		Ledger: opts.Ledger, Fleet: opts.Fleet,
 	})
 	if err != nil {
 		return nil, err
@@ -242,6 +253,16 @@ func New(opts Options) (*Cluster, error) {
 			opts.Retry, opts.StaleGrace,
 			parallel.SplitSeed(opts.Seed, int64(1000+j)), nodeTrace(paths, opts.Sessions, j),
 		))
+	}
+	if opts.Fleet != nil {
+		// Bootstrap reports: each agent announces itself on its first
+		// exchange, before any end-of-epoch collection has run, so the
+		// first snapshot classifies synced nodes healthy rather than dark.
+		for _, a := range c.agents {
+			a.lastStats = telemetry.NodeStats{Node: a.node}
+			s := a.lastStats
+			a.agent.SetStats(&s)
+		}
 	}
 	return c, nil
 }
@@ -408,6 +429,7 @@ func (c *Cluster) RunEpoch(f chaos.EpochFaults) EpochReport {
 		FetchFailures: rep.FetchFailures, DarkAgents: rep.DarkAgents,
 	})
 	c.commitEpochLedger(&rep)
+	c.sampleFleet()
 	return rep
 }
 
@@ -456,7 +478,8 @@ func (c *Cluster) dataPhase(rep *EpochReport) {
 			Trace:   a.span,
 		}, a.trace)
 	})
-	for _, r := range reports {
+	for j, r := range reports {
+		c.agents[j].lastEngine = r
 		rep.Alerts += r.Alerts
 		if r.CPUUnits > rep.MaxCPU {
 			rep.MaxCPU = r.CPUUnits

@@ -15,6 +15,7 @@ import (
 	"nwdeploy/internal/lp"
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/parallel"
+	"nwdeploy/internal/telemetry"
 	"nwdeploy/internal/topology"
 	"nwdeploy/internal/trace"
 	"nwdeploy/internal/traffic"
@@ -218,6 +219,12 @@ type ScenarioConfig struct {
 	Trace    *trace.Tracer
 	Watchdog *trace.Watchdog
 	Ledger   *ledger.Ledger
+	// Fleet/FleetHistory turn on the fleet telemetry plane (see
+	// Options.Fleet). The scenario runtime additionally reports a drain
+	// farewell at each drain transition, so a draining node classifies
+	// stale — not dark — through its maintenance window. Write-only.
+	Fleet        *telemetry.Fleet
+	FleetHistory *telemetry.History
 }
 
 func (cfg ScenarioConfig) withDefaults() ScenarioConfig {
@@ -356,6 +363,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioReport, error) {
 		Faults: cfg.Faults, Retry: cfg.Retry, Agent: cfg.Agent, StaleGrace: cfg.StaleGrace,
 		Workers: cfg.Workers, Probes: cfg.Probes, Metrics: cfg.Metrics,
 		Trace: cfg.Trace, Watchdog: cfg.Watchdog, Ledger: cfg.Ledger,
+		Fleet: cfg.Fleet, FleetHistory: cfg.FleetHistory,
 		CaptureBasis: cfg.Replan && cfg.WarmReplan,
 	})
 	if err != nil {
@@ -475,6 +483,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioReport, error) {
 				ep.Drained = append(ep.Drained, j)
 				if !wasDown {
 					c.epochSpan.Child("agent", j).Event(trace.EvDrain)
+					c.fleetDrainFarewell(a)
 				}
 			}
 		}
@@ -578,6 +587,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioReport, error) {
 			if err != nil {
 				return nil, err
 			}
+			c.agents[j].lastFloor = cfg.Governor && !grep.Satisfied
 			if cfg.Governor {
 				if cfg.Ledger != nil {
 					attests = append(attests, g.Attest(grep))
@@ -731,6 +741,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioReport, error) {
 			cfg.Trace.DumpOnce("slo_violation")
 		}
 		commitScenarioLedger(cfg.Ledger, c, &ep, attests)
+		c.sampleFleet()
 
 		if ep.WorstCoverage < rep.WorstCoverage {
 			rep.WorstCoverage = ep.WorstCoverage
@@ -782,7 +793,8 @@ func (c *Cluster) scenarioDataPhase(ep *ScenarioEpoch, inject []traffic.Session,
 			Trace:   a.span,
 		}, tr)
 	})
-	for _, r := range reports {
+	for j, r := range reports {
+		c.agents[j].lastEngine = r
 		ep.Alerts += r.Alerts
 		if r.CPUUnits > ep.MaxCPU {
 			ep.MaxCPU = r.CPUUnits

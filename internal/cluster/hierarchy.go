@@ -10,6 +10,7 @@ import (
 	"nwdeploy/internal/ledger"
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/parallel"
+	"nwdeploy/internal/telemetry"
 	"nwdeploy/internal/topology"
 )
 
@@ -49,6 +50,11 @@ type HierarchyOptions struct {
 	// so one tier's commitment covers all) and every Publish additionally
 	// seals the region partition as a regions record. Write-only.
 	Ledger *ledger.Ledger
+	// Fleet, when non-nil, receives piggybacked NodeStats from every tier
+	// (agents report to whichever controller serves them), and the
+	// hierarchy installs its region partition on it, so FleetSnapshots
+	// carry per-region health rollups. Write-only.
+	Fleet *telemetry.Fleet
 }
 
 // Hierarchy is a running two-tier control plane: region controllers under
@@ -110,6 +116,9 @@ func NewHierarchy(opts HierarchyOptions) (*Hierarchy, error) {
 			h.regionOf[j] = r
 		}
 	}
+	// The partition is the fleet's region rollup: snapshots taken while
+	// this hierarchy runs aggregate per-node health by region.
+	opts.Fleet.SetRegions(h.regions)
 
 	newCtrl := func(copts control.ControllerOptions) (*control.Controller, *chaos.Gate, error) {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -121,6 +130,7 @@ func NewHierarchy(opts HierarchyOptions) (*Hierarchy, error) {
 		copts.Metrics = opts.Metrics
 		copts.DeltaHistory = opts.DeltaHistory
 		copts.Listener = gate
+		copts.Fleet = opts.Fleet
 		c, err := control.NewControllerOpts("", copts)
 		if err != nil {
 			return nil, nil, err
@@ -316,6 +326,14 @@ type HierAgent struct {
 
 // Node returns the agent's node id.
 func (a *HierAgent) Node() int { return a.node }
+
+// SetStats installs the telemetry report piggybacked on the agent's
+// subsequent exchanges, on both tiers — whichever controller serves the
+// next sync ingests it (both feed the same Fleet when one is configured).
+func (a *HierAgent) SetStats(s *telemetry.NodeStats) {
+	a.region.SetStats(s)
+	a.global.SetStats(s)
+}
 
 // Sync performs one refresh: a region delta exchange first, then —
 // only if the region tier is unreachable — a global full fetch.

@@ -13,6 +13,7 @@ import (
 	"nwdeploy/internal/lp"
 	"nwdeploy/internal/obs"
 	"nwdeploy/internal/parallel"
+	"nwdeploy/internal/telemetry"
 	"nwdeploy/internal/topology"
 	"nwdeploy/internal/trace"
 	"nwdeploy/internal/traffic"
@@ -82,6 +83,10 @@ type OverloadConfig struct {
 	// overload epoch carrying the coverage verdict (prediction = the
 	// governors' shed floor) and a per-node floor attestation. Write-only.
 	Ledger *ledger.Ledger
+	// Fleet/FleetHistory turn on the fleet telemetry plane (see
+	// Options.Fleet). Write-only: reports are DeepEqual with or without.
+	Fleet        *telemetry.Fleet
+	FleetHistory *telemetry.History
 }
 
 // OverloadEpoch is one epoch's outcome under overload.
@@ -287,6 +292,7 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 		Redundancy: cfg.Redundancy, Seed: cfg.Seed,
 		Workers: cfg.Workers, Probes: cfg.Probes, Metrics: cfg.Metrics,
 		Trace: cfg.Trace, Watchdog: cfg.Watchdog, Ledger: cfg.Ledger,
+		Fleet: cfg.Fleet, FleetHistory: cfg.FleetHistory,
 		CaptureBasis: cfg.Replan && cfg.WarmReplan,
 	})
 	if err != nil {
@@ -456,6 +462,7 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 				return nil, err
 			}
 			ep.NodeBudgets[j] = grep.BudgetCPU
+			c.agents[j].lastFloor = cfg.Governor && !grep.Satisfied
 			if cfg.Governor {
 				if cfg.Ledger != nil {
 					attests = append(attests, g.Attest(grep))
@@ -537,6 +544,7 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 			cfg.Trace.DumpOnce("slo_violation")
 		}
 		commitOverloadLedger(cfg.Ledger, c, &ep, darkAgents, attests)
+		c.sampleFleet()
 
 		if ep.WorstCoverage < rep.WorstCoverage {
 			rep.WorstCoverage = ep.WorstCoverage

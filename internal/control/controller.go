@@ -13,6 +13,7 @@ import (
 	"nwdeploy/internal/core"
 	"nwdeploy/internal/ledger"
 	"nwdeploy/internal/obs"
+	"nwdeploy/internal/telemetry"
 )
 
 // The protocol is one JSON request line per TCP connection and one
@@ -50,6 +51,13 @@ type request struct {
 	// Trace is the caller's trace context (nil when untraced); omitempty
 	// keeps the base request encoding stable for pre-trace controllers.
 	Trace *WireTrace `json:"trace,omitempty"`
+	// Stats is the node's piggybacked telemetry self-report (nil when the
+	// fleet plane is off). Omitempty keeps v1 golden request lines
+	// byte-stable, and agents suppress it entirely after a sticky legacy
+	// downgrade so v1 controllers never see an unknown field grow the
+	// request. Controllers that do not know the field ignore it (requests
+	// are decoded with plain json.Unmarshal).
+	Stats *telemetry.NodeStats `json:"stats,omitempty"`
 }
 
 // response is the controller->agent message.
@@ -98,6 +106,12 @@ type ControllerOptions struct {
 	// Write-only like Metrics: serving behavior is identical with or
 	// without it.
 	Ledger *ledger.Ledger
+	// Fleet, when non-nil, receives every piggybacked NodeStats report
+	// carried on incoming requests. Write-only like Metrics and Ledger:
+	// ingestion happens before the response is written (so a successful
+	// exchange implies the report landed), but never changes what is
+	// served.
+	Fleet *telemetry.Fleet
 }
 
 // generation is one retained configuration snapshot: everything needed to
@@ -121,8 +135,9 @@ const maxRequestLine = 64 << 10
 type Controller struct {
 	hashKey uint32
 	histCap int
-	serves  map[int]bool   // nil = serve every node
-	ledger  *ledger.Ledger // nil = no audit chain
+	serves  map[int]bool     // nil = serve every node
+	ledger  *ledger.Ledger   // nil = no audit chain
+	fleet   *telemetry.Fleet // nil = no fleet telemetry
 
 	mu    sync.RWMutex
 	plan  *core.Plan
@@ -138,7 +153,7 @@ type Controller struct {
 	// Metric handles resolved at construction; nil-safe no-ops when no
 	// registry was configured.
 	epochReqC, manifestReqC, badReqC, manifestErrC, planUpdateC, shedUpdateC, tracedReqC *obs.Counter
-	deltaReqC, deltaServedC, deltaFullC                                                  *obs.Counter
+	deltaReqC, deltaServedC, deltaFullC, statsReqC                                       *obs.Counter
 	epochG                                                                               *obs.Gauge
 }
 
@@ -176,8 +191,8 @@ func NewControllerOpts(addr string, opts ControllerOptions) (*Controller, error)
 	}
 	c := &Controller{
 		hashKey: opts.HashKey, histCap: histCap, serves: serves,
-		ledger: opts.Ledger,
-		ln:     ln, closed: make(chan struct{}),
+		ledger: opts.Ledger, fleet: opts.Fleet,
+		ln: ln, closed: make(chan struct{}),
 
 		epochReqC:    opts.Metrics.Counter("control.requests_epoch"),
 		manifestReqC: opts.Metrics.Counter("control.requests_manifest"),
@@ -187,6 +202,7 @@ func NewControllerOpts(addr string, opts ControllerOptions) (*Controller, error)
 		shedUpdateC:  opts.Metrics.Counter("control.shed_updates"),
 		tracedReqC:   opts.Metrics.Counter("control.requests_traced"),
 		deltaReqC:    opts.Metrics.Counter("control.requests_delta"),
+		statsReqC:    opts.Metrics.Counter("control.requests_stats"),
 		deltaServedC: opts.Metrics.Counter("control.deltas_served"),
 		deltaFullC:   opts.Metrics.Counter("control.delta_full_fallbacks"),
 		epochG:       opts.Metrics.Gauge("control.epoch"),
@@ -332,6 +348,14 @@ func (c *Controller) serve(conn net.Conn) {
 		c.badReqC.Add(1)
 		_ = enc.Encode(response{Err: "malformed request"})
 		return
+	}
+
+	// Fold in the piggybacked telemetry report before any response bytes
+	// are written: if the agent sees the exchange succeed, its report
+	// landed. Write-only — nothing below reads the fleet back.
+	if req.Stats != nil {
+		c.statsReqC.Add(1)
+		c.fleet.Report(*req.Stats)
 	}
 
 	c.mu.RLock()
@@ -514,9 +538,10 @@ type Agent struct {
 
 	mu       sync.RWMutex
 	decider  *Decider
-	manifest *Manifest  // the installed manifest: the delta base
-	trace    *WireTrace // context attached to outgoing requests
-	proto    int32      // protoUnknown | protoLegacy | protoV2
+	manifest *Manifest            // the installed manifest: the delta base
+	trace    *WireTrace           // context attached to outgoing requests
+	stats    *telemetry.NodeStats // telemetry report attached to requests
+	proto    int32                // protoUnknown | protoLegacy | protoV2
 
 	reqC, errC, timeoutC      *obs.Counter
 	deltaC, fullC, downgradeC *obs.Counter
@@ -563,12 +588,26 @@ func (a *Agent) SetTrace(wt *WireTrace) {
 	a.trace = wt
 }
 
+// SetStats installs the telemetry self-report piggybacked on the agent's
+// subsequent requests — set once per epoch by the cluster runtime, after
+// it has collected the node's end-of-epoch state. Nil clears it. The
+// report is suppressed after a sticky legacy downgrade, so v1 request
+// lines stay byte-identical to the pre-telemetry encoding.
+func (a *Agent) SetStats(s *telemetry.NodeStats) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats = s
+}
+
 // roundTrip sends one request and decodes one response, reporting the
 // response payload size in bytes (the wire-cost figure the control-plane
 // benchmark aggregates).
 func (a *Agent) roundTrip(req request) (*response, int, error) {
 	a.mu.RLock()
 	req.Trace = a.trace
+	if a.proto != protoLegacy {
+		req.Stats = a.stats
+	}
 	a.mu.RUnlock()
 	a.reqC.Add(1)
 	resp, n, err := a.exchange(req)

@@ -1,0 +1,184 @@
+package control
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"nwdeploy/internal/obs"
+	"nwdeploy/internal/telemetry"
+)
+
+// TestRequestStatsGolden pins the stats-carrying request line byte for
+// byte. The "stats" field is the telemetry piggyback: omitempty keeps the
+// stats-free v1 request untouched (pinned by TestRequestResponseV1Golden),
+// and v1 controllers ignore the unknown key, so this shape is safe to send
+// to any peer that has not latched a downgrade.
+func TestRequestStatsGolden(t *testing.T) {
+	req := request{Op: "manifest", Node: 3, Stats: &telemetry.NodeStats{
+		Node: 3, Epoch: 17, Lag: 2, ShedWidth: 0.25, Sessions: 100, Draining: true,
+	}}
+	got, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"op":"manifest","node":3,` +
+		`"stats":{"node":3,"epoch":17,"lag":2,"shed_width":0.25,"sessions":100,"draining":true}}`
+	if string(got) != golden {
+		t.Fatalf("stats request drifted:\n got: %s\nwant: %s", got, golden)
+	}
+
+	// Without stats attached, the line is exactly the pre-telemetry v1
+	// encoding — the byte-stability contract.
+	plain, err := json.Marshal(request{Op: "manifest", Node: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"op":"manifest","node":3}`; string(plain) != want {
+		t.Fatalf("stats-free request drifted:\n got: %s\nwant: %s", plain, want)
+	}
+}
+
+// TestAgentDeliversStatsToFleet: a report installed with SetStats rides
+// the next exchange into the controller's Fleet, and the controller counts
+// the ingestion.
+func TestAgentDeliversStatsToFleet(t *testing.T) {
+	plan, _ := solvedPlan(t, 4)
+	fleet := telemetry.NewFleet(4, telemetry.FleetOptions{})
+	reg := obs.New()
+	ctrl, err := NewControllerOpts("127.0.0.1:0", ControllerOptions{
+		HashKey: 7, Fleet: fleet, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	ctrl.UpdatePlan(plan)
+
+	a := NewAgent(ctrl.Addr(), 3)
+	a.SetStats(&telemetry.NodeStats{Node: 3, Epoch: 1, Sessions: 42})
+	if _, err := a.Subscribe(SubscribeOptions{Mode: ModeOnce}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := fleet.EndEpoch(1, ctrl.Epoch())
+	v := snap.Nodes[3]
+	if v.Sessions != 42 || v.Silent != 0 {
+		t.Fatalf("fleet heard %+v, want the installed report", v)
+	}
+	if v.Health != telemetry.Healthy {
+		t.Fatalf("reporting synced node classified %v", v.Health)
+	}
+	if got := reg.Snapshot().Counters["control.requests_stats"]; got < 1 {
+		t.Fatalf("requests_stats counter = %d, want >= 1", got)
+	}
+
+	// Clearing the stats stops the piggyback without erroring.
+	a.SetStats(nil)
+	if _, err := a.Subscribe(SubscribeOptions{Mode: ModeOnce}); err != nil {
+		t.Fatal(err)
+	}
+	snap = fleet.EndEpoch(2, ctrl.Epoch())
+	if snap.Nodes[3].Silent != 1 {
+		t.Fatalf("round 2 should have heard nothing from node 3: %+v", snap.Nodes[3])
+	}
+}
+
+// recordingV1Controller is a pre-v2 controller that records every raw
+// request line it receives, for asserting what the agent put on the wire.
+type recordingV1Controller struct {
+	ln       net.Listener
+	manifest *Manifest
+
+	mu    sync.Mutex
+	lines []string
+}
+
+func (rc *recordingV1Controller) Lines() []string {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return append([]string(nil), rc.lines...)
+}
+
+func startRecordingV1(t *testing.T, m *Manifest) *recordingV1Controller {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := &recordingV1Controller{ln: ln, manifest: m}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				line, err := bufio.NewReader(conn).ReadBytes('\n')
+				if err != nil {
+					return
+				}
+				var req request
+				if json.Unmarshal(line, &req) != nil {
+					return
+				}
+				rc.mu.Lock()
+				rc.lines = append(rc.lines, string(line))
+				rc.mu.Unlock()
+				enc := json.NewEncoder(conn)
+				switch req.Op {
+				case "epoch":
+					_ = enc.Encode(response{Epoch: rc.manifest.Epoch})
+				case "manifest":
+					_ = enc.Encode(response{Epoch: rc.manifest.Epoch, Manifest: rc.manifest})
+				default:
+					_ = enc.Encode(response{Epoch: rc.manifest.Epoch, Err: fmt.Sprintf("unknown op %q", req.Op)})
+				}
+			}()
+		}
+	}()
+	return rc
+}
+
+// TestStickyDowngradeSuppressesStats: once an agent has latched the v1
+// downgrade, it must stop attaching the stats field — an old controller
+// should never see new keys in steady state, even tolerated ones.
+func TestStickyDowngradeSuppressesStats(t *testing.T) {
+	plan, _ := solvedPlan(t, 4)
+	m, err := ManifestFromPlan(plan, 3, 1, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := startRecordingV1(t, m)
+	defer rc.ln.Close()
+
+	a := NewAgent(rc.ln.Addr().String(), 3)
+	a.SetStats(&telemetry.NodeStats{Node: 3, Sessions: 7})
+	opts := SubscribeOptions{Mode: ModeIfStale, Deltas: true}
+	for i := 0; i < 3; i++ {
+		if _, err := a.Subscribe(opts); err != nil {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+
+	lines := rc.Lines()
+	if len(lines) < 3 {
+		t.Fatalf("controller saw %d request lines, want at least 3", len(lines))
+	}
+	// The first line is the delta attempt that triggers the downgrade; it
+	// may carry stats (v1 ignores unknown keys). Every line after the
+	// downgrade latched must be stats-free.
+	for _, line := range lines[1:] {
+		if strings.Contains(line, `"stats"`) {
+			t.Fatalf("post-downgrade request still carries stats: %s", line)
+		}
+	}
+	if !strings.Contains(lines[0], `"stats"`) {
+		t.Fatalf("pre-downgrade request lost its stats field: %s", lines[0])
+	}
+}

@@ -225,6 +225,50 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the log-scale
+// bucket counts, returning the inclusive upper bound of the bucket that
+// contains the target rank. Because buckets are powers of two, the
+// estimate is within 2x of the true value (exact for values <= 1).
+// Returns 0 on the nil or empty histogram. Under concurrent Observe
+// calls the result is a best-effort sample, like Count and Sum.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	rank := quantileRank(q, total)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// quantileRank maps a quantile in [0,1] to a 1-based target rank among
+// total observations, clamping out-of-range q.
+func quantileRank(q float64, total int64) int64 {
+	if q <= 0 {
+		return 1
+	}
+	if q >= 1 {
+		return total
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	return rank
+}
+
 // Span is a lightweight timer that records an elapsed wall-clock duration
 // (in nanoseconds) into a histogram when ended. A span started from a nil
 // registry holds a nil histogram and never touches the clock.

@@ -1,0 +1,170 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nwdeploy/internal/obs"
+	"nwdeploy/internal/telemetry"
+	"nwdeploy/internal/trace"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+// Every route answers 200 with its declared content type when fully
+// configured, and the bodies carry the configured state.
+func TestMuxEndpoints(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("cluster.epochs").Add(3)
+	reg.Histogram("fetch.ns").Observe(1500)
+	tr := trace.New(trace.Options{})
+	tr.Epoch(1).Event(trace.EvEpochStart)
+
+	fleet := telemetry.NewFleet(2, telemetry.FleetOptions{})
+	hist := telemetry.NewHistory(8)
+	fleet.Report(telemetry.NodeStats{Node: 0, Epoch: 1})
+	hist.Add(fleet.EndEpoch(1, 1))
+
+	srv := httptest.NewServer(NewMux(Options{Registry: reg, Tracer: tr, Fleet: fleet, History: hist}))
+	defer srv.Close()
+
+	code, ct, body := get(t, srv, "/metrics")
+	if code != 200 || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics: %d %s", code, ct)
+	}
+	for _, want := range []string{"cluster.epochs 3", "fetch.ns.p50", "fetch.ns.p99"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, ct, body = get(t, srv, "/metrics.json")
+	if code != 200 || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/metrics.json: %d %s", code, ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not parseable: %v", err)
+	}
+	if snap.Counters["cluster.epochs"] != 3 {
+		t.Fatalf("/metrics.json counters = %+v", snap.Counters)
+	}
+
+	code, ct, body = get(t, srv, "/metrics.prom")
+	if code != 200 || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics.prom: %d %s", code, ct)
+	}
+	for _, want := range []string{"cluster_epochs 3", `fleet_nodes{state="healthy"} 1`, `fleet_nodes{state="dark"} 1`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics.prom missing %q:\n%s", want, body)
+		}
+	}
+	if err := telemetry.ValidateProm(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics.prom invalid exposition: %v", err)
+	}
+
+	code, ct, _ = get(t, srv, "/trace")
+	if code != 200 || !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Fatalf("/trace: %d %s", code, ct)
+	}
+
+	code, ct, body = get(t, srv, "/fleet")
+	if code != 200 || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/fleet: %d %s", code, ct)
+	}
+	var fs telemetry.FleetSnapshot
+	if err := json.Unmarshal([]byte(body), &fs); err != nil {
+		t.Fatalf("/fleet not parseable: %v", err)
+	}
+	if fs.RunEpoch != 1 || fs.Healthy != 1 || fs.Dark != 1 {
+		t.Fatalf("/fleet = %+v", fs)
+	}
+
+	code, _, body = get(t, srv, "/fleet/history")
+	if code != 200 {
+		t.Fatalf("/fleet/history: %d", code)
+	}
+	var hs []telemetry.FleetSnapshot
+	if err := json.Unmarshal([]byte(body), &hs); err != nil || len(hs) != 1 {
+		t.Fatalf("/fleet/history = %q (%v)", body, err)
+	}
+
+	code, _, _ = get(t, srv, "/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+	code, _, body = get(t, srv, "/debug/pprof/cmdline")
+	if code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+}
+
+// All sources nil: every route still answers 200 with an empty-but-valid
+// body — nil-is-no-op extends to the HTTP surface.
+func TestMuxNilSources(t *testing.T) {
+	srv := httptest.NewServer(NewMux(Options{}))
+	defer srv.Close()
+
+	for _, path := range []string{"/metrics", "/metrics.json", "/metrics.prom", "/trace", "/fleet", "/fleet/history"} {
+		code, _, _ := get(t, srv, path)
+		if code != 200 {
+			t.Fatalf("%s with nil sources: %d", path, code)
+		}
+	}
+	_, _, body := get(t, srv, "/fleet")
+	if strings.TrimSpace(body) != "null" {
+		t.Fatalf("/fleet with no snapshot = %q, want null", body)
+	}
+	_, _, body = get(t, srv, "/fleet/history")
+	if strings.TrimSpace(body) != "[]" {
+		t.Fatalf("/fleet/history with nil history = %q, want []", body)
+	}
+}
+
+// The regression that motivated NewMux: two servers in one process. The
+// old implementation registered handlers on http.DefaultServeMux, so the
+// second Serve call panicked with "pattern already registered"; per-call
+// muxes must isolate the two and serve each its own registry.
+func TestTwoServersDoNotCollide(t *testing.T) {
+	r1, r2 := obs.New(), obs.New()
+	r1.Counter("which.server").Add(1)
+	r2.Counter("which.server").Add(2)
+
+	s1 := httptest.NewServer(NewMux(Options{Registry: r1}))
+	defer s1.Close()
+	s2 := httptest.NewServer(NewMux(Options{Registry: r2}))
+	defer s2.Close()
+
+	_, _, b1 := get(t, s1, "/metrics")
+	_, _, b2 := get(t, s2, "/metrics")
+	if !strings.Contains(b1, "which.server 1") {
+		t.Fatalf("server 1 body: %s", b1)
+	}
+	if !strings.Contains(b2, "which.server 2") {
+		t.Fatalf("server 2 body: %s", b2)
+	}
+
+	// And nothing leaked onto the global mux.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rw := httptest.NewRecorder()
+	http.DefaultServeMux.ServeHTTP(rw, req)
+	if rw.Code == 200 {
+		t.Fatal("/metrics leaked onto http.DefaultServeMux")
+	}
+}

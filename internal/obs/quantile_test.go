@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuantileNilAndEmpty(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil Quantile = %d, want 0", got)
+	}
+	if got := (&Histogram{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %d, want 0", got)
+	}
+	if got := (HistSnapshot{}).Quantile(0.99); got != 0 {
+		t.Fatalf("empty HistSnapshot Quantile = %d, want 0", got)
+	}
+}
+
+func TestQuantileBucketBounds(t *testing.T) {
+	h := &Histogram{}
+	// 100 observations of 100ns: every quantile lands in the [64,127]
+	// bucket, whose inclusive upper bound is 127.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 127 {
+			t.Fatalf("Quantile(%g) = %d, want bucket upper 127", q, got)
+		}
+	}
+	if got := h.Quantile(0.5); got < 100 || got > 200 {
+		t.Fatalf("estimate %d not within 2x of true value 100", got)
+	}
+}
+
+func TestQuantileRankWalk(t *testing.T) {
+	h := &Histogram{}
+	// 90 small values (bucket upper 1) and 10 large (bucket upper 1023).
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 = %d, want 1", got)
+	}
+	if got := h.Quantile(0.9); got != 1 {
+		t.Fatalf("p90 = %d, want 1 (rank 90 is the last small value)", got)
+	}
+	if got := h.Quantile(0.91); got != 1023 {
+		t.Fatalf("p91 = %d, want 1023", got)
+	}
+	if got := h.Quantile(0.99); got != 1023 {
+		t.Fatalf("p99 = %d, want 1023", got)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if got := h.Quantile(-1); got != 1 {
+		t.Fatalf("q=-1 = %d, want first bucket", got)
+	}
+	if got := h.Quantile(2); got != 1023 {
+		t.Fatalf("q=2 = %d, want last bucket", got)
+	}
+}
+
+func TestQuantileMaxBucket(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(math.MaxInt64)
+	if got := h.Quantile(0.5); got != math.MaxInt64 {
+		t.Fatalf("max-bucket quantile = %d, want MaxInt64", got)
+	}
+}
+
+func TestQuantileRank(t *testing.T) {
+	cases := []struct {
+		q     float64
+		total int64
+		want  int64
+	}{
+		{0, 100, 1},
+		{-0.5, 100, 1},
+		{1, 100, 100},
+		{1.5, 100, 100},
+		{0.5, 100, 50},
+		{0.99, 100, 99},
+		{0.999, 100, 100},
+		{0.5, 1, 1},
+	}
+	for _, c := range cases {
+		if got := quantileRank(c.q, c.total); got != c.want {
+			t.Errorf("quantileRank(%g, %d) = %d, want %d", c.q, c.total, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotQuantilesAndText(t *testing.T) {
+	r := New()
+	h := r.Histogram("fetch_ns")
+	for i := 0; i < 99; i++ {
+		h.Observe(100)
+	}
+	h.Observe(100000)
+
+	snap := r.Snapshot()
+	hs := snap.Histograms["fetch_ns"]
+	if hs.P50 != 127 {
+		t.Fatalf("snapshot P50 = %d, want 127", hs.P50)
+	}
+	if hs.P99 != 127 {
+		t.Fatalf("snapshot P99 = %d, want 127 (rank 99 is still a small value)", hs.P99)
+	}
+	if got := hs.Quantile(1); got != h.Quantile(1) {
+		t.Fatalf("snapshot max quantile %d != live %d", got, h.Quantile(1))
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fetch_ns.p50 127", "fetch_ns.p99 127"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText missing %q:\n%s", want, out)
+		}
+	}
+	// The quantile lines stay inside the histogram's block, after .mean.
+	if strings.Index(out, "fetch_ns.mean") > strings.Index(out, "fetch_ns.p50") {
+		t.Fatalf("quantile lines out of order:\n%s", out)
+	}
+}

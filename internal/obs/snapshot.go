@@ -21,10 +21,33 @@ type Snapshot struct {
 
 // HistSnapshot is the serializable form of one histogram. Buckets lists
 // only the non-empty log-scale buckets in ascending upper-bound order.
+// P50 and P99 are bucket-quantile estimates (<=2x error, see Quantile)
+// precomputed at snapshot time; they are derived from Buckets and carry
+// no extra information, but make the JSON self-contained for dashboards.
 type HistSnapshot struct {
 	Count   int64    `json:"count"`
 	Sum     int64    `json:"sum"`
+	P50     int64    `json:"p50,omitempty"`
+	P99     int64    `json:"p99,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile from the snapshot's bucket counts,
+// with the same <=2x power-of-two bucket error as Histogram.Quantile.
+// Returns 0 for an empty snapshot.
+func (h HistSnapshot) Quantile(q float64) int64 {
+	if h.Count <= 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	rank := quantileRank(q, h.Count)
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.N
+		if cum >= rank {
+			return b.Le
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1].Le
 }
 
 // Bucket is one non-empty histogram bucket: N observations v with
@@ -72,6 +95,8 @@ func (r *Registry) Snapshot() Snapshot {
 				hs.Buckets = append(hs.Buckets, Bucket{Le: bucketUpper(i), N: n})
 			}
 		}
+		hs.P50 = hs.Quantile(0.5)
+		hs.P99 = hs.Quantile(0.99)
 		s.Histograms[name] = hs
 	}
 	return s
@@ -98,7 +123,8 @@ func sortedKeys[V any](m map[string]V) []string {
 // line — a grep-friendly alternative to the JSON form. Output order is a
 // function of the metric names alone: counters, then gauges, then
 // histograms, each section in sorted name order, with each histogram's
-// .count/.sum/.mean lines kept together. (Sorting rendered lines instead
+// .count/.sum/.mean/.p50/.p99 lines kept together. (Sorting rendered
+// lines instead
 // would let values and cross-section prefix collisions decide ordering,
 // so two registries with the same metric names could interleave
 // differently.)
@@ -119,6 +145,8 @@ func (s Snapshot) WriteText(w io.Writer) error {
 			mean = float64(h.Sum) / float64(h.Count)
 		}
 		lines = append(lines, fmt.Sprintf("%s.mean %.3f", name, mean))
+		lines = append(lines, fmt.Sprintf("%s.p50 %d", name, h.Quantile(0.5)))
+		lines = append(lines, fmt.Sprintf("%s.p99 %d", name, h.Quantile(0.99)))
 	}
 	for _, l := range lines {
 		if _, err := fmt.Fprintln(w, l); err != nil {
